@@ -1,0 +1,70 @@
+"""Ablation (section 5.1): backward-phase vs certificate-chain random walks.
+
+The two reply schemes trade message hops against cryptographic work: the
+backward phase doubles the number of group-message hops per walk, while the
+certificate chain replies directly but carries (and verifies) one certificate
+per hop.  The paper uses the backward phase in Sync (verification would blow
+the round budget) and certificates in Async.
+"""
+
+from repro.analysis import format_table
+from repro.crypto import CryptoCostModel, KeyRegistry
+from repro.crypto.certificates import CertificateChain, make_certificate
+from repro.group.cost import GroupCostModel
+from repro.overlay.random_walk import WalkMode
+
+
+def _run(scale):
+    rows = []
+    crypto = CryptoCostModel()
+    registry = KeyRegistry()
+    for rwl in (5, 9, 13):
+        for group_size in (7, 14):
+            sync_cost = GroupCostModel(synchronous=True, round_duration=1.0)
+            async_cost = GroupCostModel(synchronous=False, network_latency=0.05)
+            backward = async_cost.random_walk_latency(rwl, group_size, backward_phase=True)
+            certificates = async_cost.random_walk_latency(rwl, group_size, backward_phase=False)
+
+            # Build and verify an actual certificate chain to size it.
+            chain = CertificateChain(walk_id=f"walk-{rwl}-{group_size}")
+            previous = "G0"
+            quorum = group_size // 2 + 1
+            for hop in range(rwl):
+                members = [f"{previous}-m{i}" for i in range(group_size)]
+                for member in members:
+                    registry.generate(member)
+                chain.append(
+                    make_certificate(
+                        registry, chain.walk_id, hop, previous, members, f"G{hop + 1}",
+                        signers=members[:quorum],
+                    )
+                )
+                previous = f"G{hop + 1}"
+            assert chain.verify(registry, "G0")
+            rows.append(
+                {
+                    "rwl": rwl,
+                    "group_size": group_size,
+                    "backward_phase_latency_s": round(backward, 3),
+                    "certificate_latency_s": round(certificates, 3),
+                    "certificate_chain_bytes": chain.size_bytes(),
+                    "chain_verify_cpu_s": round(
+                        crypto.certificate_chain_verify_cost(rwl, quorum), 4
+                    ),
+                }
+            )
+    return rows
+
+
+def test_ablation_walk_modes(benchmark, scale):
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Ablation: random-walk reply schemes (backward phase vs certificates)"))
+
+    for row in rows:
+        # Certificates avoid the backward hops, so end-to-end walk latency is lower...
+        assert row["certificate_latency_s"] < row["backward_phase_latency_s"]
+        # ...but the chain grows linearly with the walk length.
+        assert row["certificate_chain_bytes"] == 512 * row["rwl"]
+    # Verification CPU grows with both rwl and the quorum size.
+    assert rows[-1]["chain_verify_cpu_s"] > rows[0]["chain_verify_cpu_s"]

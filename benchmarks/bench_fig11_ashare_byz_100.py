@@ -1,0 +1,20 @@
+"""Figure 11: impact of Byzantine nodes on AShare read latency (100 nodes).
+
+Same experiment as Figure 10 with a 100-node system and a larger corpus: the
+paper draws the same conclusions at the larger scale (corrupted replicas raise
+read latency; the effect weakens as the replica count approaches the chunk
+count).
+"""
+
+from repro.analysis import format_table
+
+from bench_fig10_ashare_byz_50 import check_shape, run_experiment
+
+
+def test_fig11_ashare_byzantine_100_nodes(benchmark, scale):
+    rows = benchmark.pedantic(
+        run_experiment, args=(100, 200, 7, 8, scale), kwargs={"seed": 11}, rounds=1, iterations=1
+    )
+    print()
+    print(format_table(rows, title="Figure 11: AShare read latency per MB, 100 nodes, 7 Byzantine"))
+    check_shape(rows)

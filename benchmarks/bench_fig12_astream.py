@@ -1,0 +1,67 @@
+"""Figure 12: AStream second-tier latency for a 1 MB/s stream.
+
+Streams one second of data (1 MB/s, 250 KB chunks) in systems of 20 and 50
+nodes, with the tier-one forward callback configured to gossip on a single or
+on two H-graph cycles.  The reported number is the latency of the second tier
+(data chunks through the spanning forest), which the paper measures in the
+hundreds of milliseconds; using two cycles for the metadata lowers it
+slightly, at the cost of higher tier-one traffic.
+"""
+
+from repro.analysis import format_table, latency_summary
+from repro.apps.astream import AStreamSession
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters, SmrKind
+
+
+def _stream_once(num_nodes: int, policy: str, seed: int, duration: float):
+    params = AtumParameters.for_system_size(num_nodes, SmrKind.SYNC, round_duration=1.0)
+    atum = AtumCluster(params, seed=seed)
+    addresses = [f"n{i}" for i in range(num_nodes)]
+    atum.build_static(addresses)
+    session = AStreamSession(
+        atum,
+        source="n0",
+        forward_policy=policy,
+        chunk_bytes=250_000,
+        rate_bytes_per_s=1_000_000,
+        pull_timeout=1.0,
+    )
+    chunk_count = session.stream(duration_s=duration)
+    atum.run(until=atum.sim.now + 90.0)
+    fractions = [session.delivery_fraction(i) for i in range(chunk_count)]
+    return session.tier2_latencies(), min(fractions)
+
+
+def _run(scale):
+    duration = 1.0 * scale
+    rows = []
+    for num_nodes in (20, 50):
+        for policy in ("single", "double"):
+            latencies, min_fraction = _stream_once(num_nodes, policy, seed=num_nodes, duration=duration)
+            summary = latency_summary(latencies)
+            rows.append(
+                {
+                    "system_size": num_nodes,
+                    "cycles": policy,
+                    "tier2_median_ms": round(summary["median"] * 1000.0, 1),
+                    "tier2_p90_ms": round(summary["p90"] * 1000.0, 1),
+                    "delivery": round(min_fraction, 3),
+                }
+            )
+    return rows
+
+
+def test_fig12_astream_latency(benchmark, scale):
+    rows = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Figure 12: AStream tier-2 latency, 1 MB/s stream"))
+
+    by_key = {(row["system_size"], row["cycles"]): row for row in rows}
+    # Every chunk reaches every correct node.
+    assert all(row["delivery"] == 1.0 for row in rows)
+    # Second-tier latency stays in the sub-second range (paper: 100-900 ms).
+    assert all(row["tier2_median_ms"] < 2000.0 for row in rows)
+    # The larger system has higher tier-2 latency (more forest levels), for
+    # the single-cycle configuration.
+    assert by_key[(50, "single")]["tier2_median_ms"] >= by_key[(20, "single")]["tier2_median_ms"]

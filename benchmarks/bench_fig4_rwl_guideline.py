@@ -1,0 +1,53 @@
+"""Figure 4: configuration guideline -- optimal random-walk length vs H-graph cycles.
+
+For each (number of vgroups, hc) pair, find the smallest random-walk length
+whose end-point distribution passes a Pearson chi-square uniformity test at
+confidence 0.99.  The paper's guideline shows rwl growing with the number of
+vgroups and shrinking as the overlay gets denser (more cycles).
+"""
+
+import random
+
+from repro.analysis import format_table
+from repro.overlay.guideline import guideline_table
+
+
+def _run(scale):
+    group_counts = (8, 32, 128, 512) if scale == 1 else (8, 32, 128, 512, 2048)
+    cycle_counts = (2, 4, 6, 8) if scale == 1 else (2, 4, 6, 8, 10, 12)
+    table = guideline_table(
+        group_counts=group_counts,
+        cycle_counts=cycle_counts,
+        rng=random.Random(0),
+        samples_per_group=10 * scale,
+        trials=1,
+        max_rwl=25,
+    )
+    return table, group_counts, cycle_counts
+
+
+def test_fig4_rwl_guideline(benchmark, scale):
+    table, group_counts, cycle_counts = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    rows = []
+    for num_groups in group_counts:
+        row = {"vgroups": num_groups}
+        for hc in cycle_counts:
+            row[f"rwl@hc={hc}"] = table[num_groups][hc]
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Figure 4: optimal random walk length (rwl) per (vgroups, hc)"))
+
+    # Shape checks from the paper's guideline:
+    # (1) more vgroups require longer walks (at fixed density);
+    for hc in cycle_counts:
+        assert table[group_counts[0]][hc] <= table[group_counts[-1]][hc]
+    # (2) denser overlays (more cycles) never require longer walks for the
+    #     largest system in the sweep (allowing one step of test noise).
+    largest = group_counts[-1]
+    assert table[largest][cycle_counts[-1]] <= table[largest][cycle_counts[0]] + 1
+    # (3) for the densities the paper recommends (hc >= 4), the magnitudes
+    #     match Table 1's typical range for rwl (4..15, with slack for noise).
+    for num_groups in group_counts[1:]:
+        for hc in cycle_counts:
+            if hc >= 4:
+                assert 2 <= table[num_groups][hc] <= 16

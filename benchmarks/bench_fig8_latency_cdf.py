@@ -1,0 +1,122 @@
+"""Figure 8: group communication latency -- Atum vs gossip vs whole-system SMR.
+
+Disseminates a batch of small (10-100 byte) messages in systems of 200, 400
+and 800 nodes (plus an 850-node system with 50 Byzantine nodes) for both the
+Sync and Async variants, and compares against the two baselines: a classic
+crash-tolerant gossip with global membership, and the synchronous Byzantine
+agreement scaled to the whole system.
+
+Shape expectations from the paper:
+* Sync latency is bounded by ~8 rounds and is essentially independent of
+  system size and of the 5.8% Byzantine nodes;
+* Async latency is much lower than Sync (no conservative rounds);
+* classic gossip is faster than Atum (the gap is the price of BFT, roughly
+  the first-phase SMR latency);
+* whole-system SMR is slower by an order of magnitude (f + 1 rounds).
+"""
+
+from repro.analysis import format_table, latency_summary
+from repro.baselines import ClassicGossipSimulation, GossipConfig, global_smr_latency
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters, SmrKind
+from repro.workloads import BroadcastWorkload, BroadcastWorkloadConfig, select_byzantine
+
+ROUND_DURATION = 1.5
+
+
+def _atum_latencies(kind: SmrKind, correct_nodes: int, byzantine_count: int, broadcasts: int, seed: int):
+    total = correct_nodes + byzantine_count
+    params = AtumParameters.for_system_size(total, kind, round_duration=ROUND_DURATION)
+    cluster = AtumCluster(params, seed=seed)
+    addresses = [f"n{i}" for i in range(total)]
+    byzantine = select_byzantine(addresses, count=byzantine_count) if byzantine_count else []
+    cluster.build_static(addresses, byzantine=byzantine)
+    workload = BroadcastWorkload(
+        cluster,
+        BroadcastWorkloadConfig(count=broadcasts, interval=0.4, settle_time=90.0),
+    )
+    latencies = workload.run()
+    fractions = workload.delivery_fractions()
+    return latencies, min(fractions.values()) if fractions else 0.0
+
+
+def _run(scale):
+    broadcasts = 8 * scale
+    configs = [
+        ("Atum SYNC", SmrKind.SYNC, 200, 0),
+        ("Atum SYNC", SmrKind.SYNC, 400, 0),
+        ("Atum SYNC", SmrKind.SYNC, 800, 0),
+        ("Atum SYNC", SmrKind.SYNC, 800, 50),
+        ("Atum ASYNC", SmrKind.ASYNC, 200, 0),
+        ("Atum ASYNC", SmrKind.ASYNC, 400, 0),
+        ("Atum ASYNC", SmrKind.ASYNC, 800, 50),
+    ]
+    results = []
+    for label, kind, correct, byz in configs:
+        latencies, min_fraction = _atum_latencies(kind, correct, byz, broadcasts, seed=correct + byz)
+        results.append(
+            {
+                "system": f"{label} N={correct + byz}" + ("*" if byz else ""),
+                "samples": latencies,
+                "min_delivery_fraction": min_fraction,
+            }
+        )
+    gossip = ClassicGossipSimulation(
+        GossipConfig(num_nodes=850, fanout=15, round_duration=ROUND_DURATION), seed=1
+    )
+    results.append(
+        {
+            "system": "S.Gossip N=850",
+            "samples": gossip.delivery_latencies(),
+            "min_delivery_fraction": 1.0,
+        }
+    )
+    smr_latency = global_smr_latency(850, tolerated_faults=50, round_duration=ROUND_DURATION)
+    results.append(
+        {
+            "system": "S.SMR N=850*",
+            "samples": [smr_latency] * 850,
+            "min_delivery_fraction": 1.0,
+        }
+    )
+    return results
+
+
+def test_fig8_latency_cdf(benchmark, scale):
+    results = benchmark.pedantic(_run, args=(scale,), rounds=1, iterations=1)
+    rows = []
+    for entry in results:
+        summary = latency_summary(entry["samples"])
+        rows.append(
+            {
+                "system": entry["system"],
+                "median_s": round(summary["median"], 2),
+                "p90_s": round(summary["p90"], 2),
+                "max_s": round(summary["max"], 2),
+                "delivery": round(entry["min_delivery_fraction"], 3),
+            }
+        )
+    print()
+    print(format_table(rows, title="Figure 8: broadcast latency (per-node delivery), 10-100 B messages"))
+
+    by_system = {row["system"]: row for row in rows}
+
+    # Every Atum configuration delivers to every correct node.
+    for entry in results:
+        if entry["system"].startswith("Atum"):
+            assert entry["min_delivery_fraction"] == 1.0
+
+    # Sync latency bounded by ~8 rounds (12 s at 1.5 s rounds), at every size
+    # and with Byzantine nodes present.
+    for name, row in by_system.items():
+        if name.startswith("Atum SYNC"):
+            assert row["max_s"] <= 8 * ROUND_DURATION + ROUND_DURATION
+
+    # No performance decay from 5.8% Byzantine nodes (within one round).
+    assert abs(by_system["Atum SYNC N=850*"]["max_s"] - by_system["Atum SYNC N=800"]["max_s"]) <= ROUND_DURATION
+
+    # Async is faster than Sync; gossip is faster than Atum Sync; whole-system
+    # SMR is the slowest by a wide margin.
+    assert by_system["Atum ASYNC N=400"]["median_s"] < by_system["Atum SYNC N=400"]["median_s"]
+    assert by_system["S.Gossip N=850"]["median_s"] <= by_system["Atum SYNC N=800"]["median_s"]
+    assert by_system["S.SMR N=850*"]["median_s"] > 5 * by_system["Atum SYNC N=800"]["max_s"]

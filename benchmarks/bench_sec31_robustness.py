@@ -1,0 +1,47 @@
+"""Section 3.1: robustness analysis of volatile groups.
+
+Regenerates the worked examples of the group-size trade-off (g = 4 versus
+g = 20 at 5% faults) and the claim that k = 4 keeps all vgroups robust with
+probability ~0.999 under 6% simultaneous arbitrary faults.
+"""
+
+from repro.analysis import (
+    format_table,
+    monte_carlo_vgroup_failure,
+    optimal_group_size_table,
+    vgroup_failure_probability,
+)
+from repro.analysis.robustness import logarithmic_group_size
+
+
+def _run():
+    examples = []
+    for group_size in (4, 8, 12, 20):
+        analytic = vgroup_failure_probability(group_size, 0.05, synchronous=True)
+        estimated = monte_carlo_vgroup_failure(group_size, 0.05, trials=50_000)
+        examples.append(
+            {
+                "group_size": group_size,
+                "fault_probability": 0.05,
+                "analytic_failure_prob": analytic,
+                "monte_carlo_failure_prob": estimated,
+            }
+        )
+    k_rows = optimal_group_size_table(system_size=2000, failure_probability=0.06)
+    return examples, k_rows
+
+
+def test_sec31_robustness(benchmark):
+    examples, k_rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(format_table(examples, title="Vgroup failure probability at p=0.05 (paper: g=4 -> 0.014, g=20 -> 1.1e-8)"))
+    print()
+    print(format_table(k_rows, title="All-vgroups-robust probability at 6% faults, N=2000"))
+
+    by_size = {row["group_size"]: row for row in examples}
+    assert abs(by_size[4]["analytic_failure_prob"] - 0.014) < 0.002
+    assert by_size[20]["analytic_failure_prob"] < 1e-7
+    # k = 4 (the paper's recommended trade-off) keeps all vgroups robust w.h.p.
+    k4 = next(row for row in k_rows if row["k"] == 4.0)
+    assert k4["all_robust_probability"] > 0.99
+    assert logarithmic_group_size(2000, 4) == k4["group_size"]

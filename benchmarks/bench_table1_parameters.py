@@ -1,0 +1,42 @@
+"""Table 1: Atum system parameters and typical values.
+
+Regenerates the parameter table and checks that configurations derived for the
+paper's system sizes fall inside the typical ranges the table reports.
+"""
+
+from repro.analysis import format_table
+from repro.core.config import AtumParameters, SmrKind, parameter_table
+
+
+def _build_table():
+    rows = parameter_table()
+    derived = []
+    for size in (50, 200, 800, 1400):
+        for kind in (SmrKind.SYNC, SmrKind.ASYNC):
+            params = AtumParameters.for_system_size(size, kind)
+            derived.append(
+                {
+                    "system_size": size,
+                    "engine": kind.value,
+                    "hc": params.hc,
+                    "rwl": params.rwl,
+                    "gmax": params.gmax,
+                    "gmin": params.gmin,
+                    "k": params.k,
+                }
+            )
+    return rows, derived
+
+
+def test_table1_parameters(benchmark):
+    rows, derived = benchmark.pedantic(_build_table, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, title="Table 1: system parameters"))
+    print()
+    print(format_table(derived, title="Derived configurations (via the Figure 4 guideline)"))
+    # Typical-value sanity checks from Table 1.
+    for row in derived:
+        assert 2 <= row["hc"] <= 12
+        assert 4 <= row["rwl"] <= 15
+        assert row["gmin"] == row["gmax"] // 2
+        assert 3 <= row["k"] <= 7

@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the corresponding rows/series.  Benchmarks run the full experiment once
+(``benchmark.pedantic(..., rounds=1, iterations=1)``): the quantity of interest
+is the experiment's *result*, not the wall-clock time of the harness itself.
+
+Scale: the paper's experiments run for hours on hundreds of EC2 instances.
+The benchmarks reproduce the same protocols at a reduced scale (fewer
+broadcasts, shorter churn windows) so the whole suite completes in minutes;
+the scale can be raised with the ``ATUM_BENCH_SCALE`` environment variable
+(1 = default, 2 = closer to the paper's sample counts).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> int:
+    """Global scale factor for benchmark workloads (ATUM_BENCH_SCALE, default 1)."""
+    try:
+        return max(1, int(os.environ.get("ATUM_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1
+
+
+@pytest.fixture
+def scale() -> int:
+    return bench_scale()

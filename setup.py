@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml [project] table is the single source of truth for package
+metadata.  This file exists so that the package can be installed in editable
+mode on machines without the ``wheel`` package (legacy ``setup.py develop``
+path), e.g. offline environments.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Reproduction of *Atum: Scalable Group Communication Using Volatile Groups*.
+
+This package implements the Atum group communication middleware
+(Middleware 2016) on top of a deterministic discrete-event simulation
+substrate.  The public surface mirrors the paper's layering:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel (clock, actors, timers).
+* :mod:`repro.net` -- network substrate with latency/bandwidth/loss models.
+* :mod:`repro.crypto` -- digests, simulated signatures, certificate chains.
+* :mod:`repro.smr` -- BFT state machine replication (Dolev-Strong and PBFT).
+* :mod:`repro.group` -- volatile groups, group messages, eviction.
+* :mod:`repro.overlay` -- H-graph overlay, gossip, random walks, shuffling,
+  logarithmic grouping.
+* :mod:`repro.core` -- the Atum API (bootstrap/join/leave/broadcast) and the
+  cluster driver used by examples, tests and benchmarks.
+* :mod:`repro.apps` -- ASub (pub/sub), AShare (file sharing), AStream
+  (streaming) built on the Atum API.
+* :mod:`repro.baselines` -- classic gossip, whole-system SMR and an NFS-like
+  file server used as comparison points in the paper's evaluation.
+* :mod:`repro.workloads` -- growth, churn, Byzantine and data workload drivers.
+* :mod:`repro.analysis` -- statistics helpers (chi-square uniformity test,
+  CDFs, robustness analysis) used by the benchmark harness.
+
+The most commonly used entry points (``AtumCluster``, ``AtumParameters``,
+``AtumNode``) are re-exported lazily at package level.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtumParameters",
+    "SmrKind",
+    "AtumCluster",
+    "AtumNode",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "AtumParameters": ("repro.core.config", "AtumParameters"),
+    "SmrKind": ("repro.core.config", "SmrKind"),
+    "AtumCluster": ("repro.core.cluster", "AtumCluster"),
+    "AtumNode": ("repro.core.node", "AtumNode"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily import the top-level convenience exports."""
+    if name in _LAZY_EXPORTS:
+        module_name, attribute = _LAZY_EXPORTS[name]
+        module = __import__(module_name, fromlist=[attribute])
+        value = getattr(module, attribute)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,64 @@
+"""Empirical CDFs and latency summaries (used for Figure 8-style results)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def empirical_cdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Return the empirical CDF of ``samples`` as sorted (value, fraction) pairs."""
+    ordered = sorted(samples)
+    n = len(ordered)
+    if n == 0:
+        return []
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def fraction_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples at or below ``threshold``."""
+    if not samples:
+        return 0.0
+    return sum(1 for sample in samples if sample <= threshold) / len(samples)
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile of ``samples`` (p in [0, 100])."""
+    if not samples:
+        return math.nan
+    if not 0.0 <= p <= 100.0:
+        raise ValueError("p must be in [0, 100]")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """A compact latency summary: count, mean, median, p90, p99, max."""
+    if not samples:
+        return {"count": 0, "mean": math.nan, "median": math.nan, "p90": math.nan,
+                "p99": math.nan, "max": math.nan}
+    return {
+        "count": float(len(samples)),
+        "mean": sum(samples) / len(samples),
+        "median": percentile(samples, 50),
+        "p90": percentile(samples, 90),
+        "p99": percentile(samples, 99),
+        "max": max(samples),
+    }
+
+
+def cdf_at_thresholds(
+    samples: Sequence[float], thresholds: Iterable[float]
+) -> List[Tuple[float, float]]:
+    """Evaluate the empirical CDF at the given thresholds (for plotting rows)."""
+    return [(threshold, fraction_below(samples, threshold)) for threshold in thresholds]
+
+
+__all__ = [
+    "empirical_cdf",
+    "fraction_below",
+    "percentile",
+    "latency_summary",
+    "cdf_at_thresholds",
+]

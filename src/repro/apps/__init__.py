@@ -1,0 +1,27 @@
+"""Applications built on top of Atum, as in the paper's section 4.
+
+* :mod:`repro.apps.asub` -- ASub, a topic-based publish/subscribe service that
+  maps one-to-one onto the Atum API.
+* :mod:`repro.apps.ashare` -- AShare, a file sharing service with randomized
+  replication, chunked parallel transfers and integrity checks.
+* :mod:`repro.apps.astream` -- AStream, a two-tier data streaming system
+  (Atum for stream authentication metadata, a spanning-forest push-pull
+  multicast for the data).
+* :mod:`repro.apps.transfer` -- the bulk-transfer cost model shared by AShare
+  and the NFS baseline.
+"""
+
+from repro.apps.asub import ASubTopic, ASubService
+from repro.apps.ashare import AShareCluster, FileRecord, MetadataIndex
+from repro.apps.astream import AStreamSession
+from repro.apps.transfer import TransferModel
+
+__all__ = [
+    "ASubTopic",
+    "ASubService",
+    "AShareCluster",
+    "FileRecord",
+    "MetadataIndex",
+    "AStreamSession",
+    "TransferModel",
+]

@@ -1,0 +1,26 @@
+"""Atum core: configuration, the Atum node API, and the cluster driver.
+
+* :class:`repro.core.config.AtumParameters` -- the system parameters of the
+  paper's Table 1 (``hc``, ``rwl``, ``gmin``, ``gmax``, ``k``) plus the choice
+  of SMR engine, with helpers that derive a configuration from a target system
+  size using the Figure 4 guideline.
+* :class:`repro.core.node.AtumNode` -- a node of the system, exposing the Atum
+  API (``join``, ``leave``, ``broadcast``) and the application callbacks
+  (``deliver``, ``forward``).
+* :class:`repro.core.cluster.AtumCluster` -- the driver that hosts many Atum
+  nodes on one simulator, wires them to the membership engine and the network,
+  and provides the measurement hooks used by tests, examples and benchmarks.
+"""
+
+from repro.core.config import AtumParameters, SmrKind, parameter_table
+from repro.core.node import AtumNode, BroadcastMessage
+from repro.core.cluster import AtumCluster
+
+__all__ = [
+    "AtumParameters",
+    "SmrKind",
+    "parameter_table",
+    "AtumNode",
+    "BroadcastMessage",
+    "AtumCluster",
+]

@@ -1,0 +1,292 @@
+"""The cluster driver: hosts many Atum nodes on one simulator.
+
+``AtumCluster`` plays the role of the deployment scripts of the paper's
+evaluation: it creates nodes, bootstraps the first one, drives joins, leaves
+and broadcasts, injects Byzantine behaviour, and exposes measurement helpers
+(delivery latencies, growth curves, churn statistics) used by the tests,
+examples and benchmarks.
+
+The cluster also implements the *overlay directory* consulted by nodes when
+they gossip: in a real deployment every node learns the composition of its
+neighbouring vgroups through the replicated state of its own vgroup (updated
+by group messages whenever a neighbour reconfigures); here that replicated
+knowledge is centralised in the membership engine and served to nodes through
+the directory interface, which keeps the node-level code identical while
+avoiding a per-node copy of the neighbourhood state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import AtumParameters, SmrKind
+from repro.core.node import AtumNode, BroadcastMessage
+from repro.crypto.keys import KeyRegistry
+from repro.group.vgroup import VGroupView
+from repro.net.latency import LanProfile, LatencyModel, WanProfile
+from repro.net.network import Network, NetworkConfig
+from repro.overlay.membership import MembershipEngine
+from repro.sim.simulator import Simulator
+
+
+class AtumCluster:
+    """A collection of Atum nodes plus the substrate they run on."""
+
+    def __init__(
+        self,
+        params: Optional[AtumParameters] = None,
+        seed: int = 0,
+        latency_model: Optional[LatencyModel] = None,
+        network_config: Optional[NetworkConfig] = None,
+        enable_heartbeats: bool = False,
+        shuffle_enabled: bool = True,
+    ) -> None:
+        self.params = params or AtumParameters()
+        self.sim = Simulator(seed=seed)
+        if latency_model is None:
+            latency_model = (
+                LanProfile() if self.params.smr_kind is SmrKind.SYNC else WanProfile()
+            )
+        self.latency_model = latency_model
+        self.network = Network(self.sim, latency_model=latency_model, config=network_config)
+        self.registry = KeyRegistry()
+        self.enable_heartbeats = enable_heartbeats
+        typical_latency = 0.001 if self.params.smr_kind is SmrKind.SYNC else 0.05
+        self.engine = MembershipEngine(
+            sim=self.sim,
+            config=self.params.membership_config(shuffle_enabled=shuffle_enabled),
+            cost=self.params.cost_model(network_latency=typical_latency),
+            on_view_changed=self._on_view_changed,
+            on_group_removed=self._on_group_removed,
+            on_node_left=self._on_node_left,
+            on_join_completed=self._on_join_completed,
+        )
+        self.nodes: Dict[str, AtumNode] = {}
+        self._eviction_requests: Set[str] = set()
+        self._suspicions: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------- node creation
+
+    def add_node(
+        self,
+        address: str,
+        deliver_fn: Optional[Callable[[BroadcastMessage], None]] = None,
+        forward_fn: Optional[Callable[[BroadcastMessage, str], bool]] = None,
+        forward_policy: str = "flood",
+        byzantine: Optional[str] = None,
+    ) -> AtumNode:
+        """Create (but do not yet join) a node actor attached to the network."""
+        if address in self.nodes:
+            return self.nodes[address]
+        if isinstance(self.latency_model, WanProfile):
+            self.latency_model.assign(address)
+        node = AtumNode(
+            sim=self.sim,
+            address=address,
+            params=self.params,
+            network=self.network,
+            registry=self.registry,
+            directory=self,
+            deliver_fn=deliver_fn,
+            forward_fn=forward_fn,
+            forward_policy=forward_policy,
+            byzantine=byzantine,
+            enable_heartbeats=self.enable_heartbeats,
+        )
+        self.nodes[address] = node
+        self.network.register(node)
+        return node
+
+    def node(self, address: str) -> AtumNode:
+        return self.nodes[address]
+
+    # --------------------------------------------------------------- membership
+
+    def bootstrap(self, address: str, **node_kwargs: Any) -> AtumNode:
+        """Create the system: the first node forms a single-member vgroup."""
+        node = self.add_node(address, **node_kwargs)
+        self.engine.bootstrap(address)
+        return node
+
+    def build_static(
+        self,
+        addresses: Sequence[str],
+        byzantine: Iterable[str] = (),
+        target_group_size: Optional[int] = None,
+        **node_kwargs: Any,
+    ) -> None:
+        """Construct a fully grown system directly (no join replay).
+
+        ``byzantine`` addresses are created as silent Byzantine nodes; they are
+        counted in vgroup memberships (as in the paper's fault-injection
+        experiments) but do not participate in any protocol.
+        """
+        byzantine_set = set(byzantine)
+        for address in addresses:
+            mode = "silent" if address in byzantine_set else None
+            self.add_node(address, byzantine=mode, **node_kwargs)
+        self.engine.build_static(list(addresses), target_group_size=target_group_size)
+
+    def join(self, address: str, contact: Optional[str] = None, **node_kwargs: Any) -> AtumNode:
+        """Join a new node through a contact node (section 3.3.2)."""
+        node = self.add_node(address, **node_kwargs)
+        self.engine.join(address, contact_node=contact)
+        return node
+
+    def leave(self, address: str) -> None:
+        """Voluntarily leave the system (section 3.3.3)."""
+        self.engine.leave(address)
+
+    def request_eviction(self, peer: str, suspected_by: str) -> None:
+        """Directory hook used by heartbeat monitors to evict unresponsive peers.
+
+        An eviction proceeds only once a majority of the suspect's vgroup
+        peers have reported it -- inside a vgroup the eviction is an SMR
+        agreement, so a Byzantine minority cannot evict correct nodes by
+        pretending not to receive their heartbeats (the attack of the paper's
+        section 6.1.3).
+        """
+        if peer in self._eviction_requests:
+            return
+        if peer not in self.engine.node_group:
+            return
+        view = self.engine.group_of(peer)
+        suspicions = self._suspicions.setdefault(peer, set())
+        if suspected_by != peer:
+            suspicions.add(suspected_by)
+        co_members = [member for member in view.members if member != peer]
+        reporting = len(suspicions.intersection(co_members))
+        required = max(1, (len(co_members) + 1) // 2)
+        if reporting < required:
+            return
+        self._eviction_requests.add(peer)
+        self._suspicions.pop(peer, None)
+        self.engine.leave(peer, eviction=True)
+
+    def crash(self, address: str) -> None:
+        """Crash a node: it stops responding (and heartbeating) but is not yet evicted."""
+        node = self.nodes.get(address)
+        if node is not None:
+            node.byzantine = "mute"
+            if node.heartbeats is not None:
+                node.heartbeats.stop()
+
+    def make_byzantine(self, addresses: Iterable[str], mode: str = "silent") -> None:
+        """Turn existing nodes into Byzantine nodes with the given behaviour."""
+        for address in addresses:
+            node = self.nodes.get(address)
+            if node is not None:
+                node.byzantine = mode
+
+    # ---------------------------------------------------------------- broadcast
+
+    def broadcast(self, address: str, payload: Any, size_bytes: int = 100) -> str:
+        """Broadcast from the given node; returns the broadcast id."""
+        return self.nodes[address].broadcast(payload, size_bytes=size_bytes)
+
+    def delivery_times(self, bcast_id: str) -> Dict[str, float]:
+        """Delivery time per correct member node for one broadcast."""
+        times: Dict[str, float] = {}
+        for address, node in self.nodes.items():
+            if not node.is_correct or not node.is_member:
+                continue
+            time = node.delivery_time(bcast_id)
+            if time is not None:
+                times[address] = time
+        return times
+
+    def delivery_latencies(self, bcast_id: str, started_at: float) -> List[float]:
+        return [time - started_at for time in self.delivery_times(bcast_id).values()]
+
+    def delivery_fraction(self, bcast_id: str) -> float:
+        """Fraction of correct member nodes that delivered the broadcast."""
+        correct_members = [
+            node for node in self.nodes.values() if node.is_correct and node.is_member
+        ]
+        if not correct_members:
+            return 0.0
+        delivered = sum(1 for node in correct_members if node.has_delivered(bcast_id))
+        return delivered / len(correct_members)
+
+    # --------------------------------------------------------------------- runs
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        return self.sim.run(until=until, max_events=max_events)
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        return self.sim.run(until=self.sim.now + duration, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        return self.sim.run_until_idle(max_events=max_events)
+
+    def run_until_membership_quiescent(
+        self, max_time: float = 3600.0, check_interval: float = 5.0
+    ) -> float:
+        """Run until no membership operation is pending (or the horizon passes)."""
+        deadline = self.sim.now + max_time
+        while self.engine.pending_operations() > 0 and self.sim.now < deadline:
+            self.sim.run(until=min(deadline, self.sim.now + check_interval))
+        return self.sim.now
+
+    # ----------------------------------------------------------------- directory
+
+    def view_of_group(self, group_id: str) -> Optional[VGroupView]:
+        return self.engine.groups.get(group_id)
+
+    def cycle_neighbor_ids(self, group_id: str) -> List[Tuple[str, str]]:
+        """Per H-graph cycle, the (predecessor, successor) group ids."""
+        graph = self.engine.graph
+        if graph is None or group_id not in graph:
+            return []
+        return [graph.cycle_neighbors(group_id, cycle) for cycle in range(graph.hc)]
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def system_size(self) -> int:
+        return self.engine.system_size
+
+    @property
+    def group_count(self) -> int:
+        return self.engine.group_count
+
+    def correct_member_addresses(self) -> List[str]:
+        return [
+            address
+            for address, node in self.nodes.items()
+            if node.is_correct and node.is_member
+        ]
+
+    def members_of(self, group_id: str) -> List[AtumNode]:
+        view = self.view_of_group(group_id)
+        if view is None:
+            return []
+        return [self.nodes[a] for a in view.members if a in self.nodes]
+
+    # --------------------------------------------------------- engine callbacks
+
+    def _on_view_changed(self, view: VGroupView) -> None:
+        for member in view.members:
+            node = self.nodes.get(member)
+            if node is not None:
+                node.install_view(view)
+
+    def _on_group_removed(self, group_id: str) -> None:
+        # Members were re-homed before the group disappeared; nothing to do at
+        # the node level.
+        return
+
+    def _on_node_left(self, address: str) -> None:
+        node = self.nodes.get(address)
+        if node is not None:
+            node.clear_membership()
+        self._eviction_requests.discard(address)
+
+    def _on_join_completed(self, address: str, group_id: str) -> None:
+        view = self.engine.groups.get(group_id)
+        node = self.nodes.get(address)
+        if node is not None and view is not None:
+            node.install_view(view)
+
+
+__all__ = ["AtumCluster"]

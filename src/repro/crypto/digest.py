@@ -1,0 +1,40 @@
+"""Message digests (SHA-256) over canonically serialized objects."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any
+
+#: Type alias for hex-encoded digests.
+Digest = str
+
+
+def _canonical(obj: Any) -> Any:
+    """Convert ``obj`` into a JSON-serializable canonical form."""
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {"__dc__": type(obj).__name__, **_canonical(asdict(obj))}
+    if isinstance(obj, dict):
+        return {str(key): _canonical(value) for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(_canonical(item) for item in obj)
+    if isinstance(obj, bytes):
+        return obj.hex()
+    return obj
+
+
+def digest_bytes(data: bytes) -> Digest:
+    """Return the SHA-256 hex digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_object(obj: Any) -> Digest:
+    """Return the SHA-256 hex digest of an arbitrary (JSON-encodable) object."""
+    encoded = json.dumps(_canonical(obj), sort_keys=True, default=str).encode("utf-8")
+    return digest_bytes(encoded)
+
+
+__all__ = ["Digest", "digest_bytes", "digest_object"]

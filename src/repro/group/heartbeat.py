@@ -1,0 +1,127 @@
+"""Heartbeats and eviction of unresponsive vgroup members (paper section 5.1).
+
+Every node periodically sends a heartbeat to its vgroup peers.  A peer that
+misses a configurable number of consecutive heartbeats is *suspected*; once a
+node suspects a peer it proposes an eviction through the vgroup's SMR engine,
+and when the eviction is decided the group reconfigures exactly as it does for
+a voluntary leave.  Heartbeats are deliberately coarse-grained (a minute in
+the paper) so that slow-but-correct nodes are not evicted under asynchrony.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable
+
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Wire payload of a heartbeat message."""
+
+    sender: str
+    group_id: str
+    sequence: int
+
+
+@dataclass
+class HeartbeatConfig:
+    """Timing of the heartbeat/eviction mechanism.
+
+    Attributes:
+        period: Interval between heartbeats (60 s in the paper).
+        misses_before_eviction: Consecutive missed heartbeats after which a
+            peer is considered unresponsive and an eviction is proposed.
+    """
+
+    period: float = 60.0
+    misses_before_eviction: int = 3
+
+
+class HeartbeatMonitor:
+    """Per-node heartbeat sender and failure detector.
+
+    The host wires the monitor with a ``send_fn(peer, heartbeat)`` used to emit
+    heartbeats, a ``peers_fn()`` returning the current vgroup peers, and a
+    ``suspect_fn(peer)`` invoked when a peer should be evicted.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        address: str,
+        group_id_fn: Callable[[], str],
+        peers_fn: Callable[[], Iterable[str]],
+        send_fn: Callable[[str, Heartbeat], None],
+        suspect_fn: Callable[[str], None],
+        config: HeartbeatConfig | None = None,
+    ) -> None:
+        self.sim = sim
+        self.address = address
+        self.group_id_fn = group_id_fn
+        self.peers_fn = peers_fn
+        self.send_fn = send_fn
+        self.suspect_fn = suspect_fn
+        self.config = config or HeartbeatConfig()
+        self.sequence = 0
+        self.last_seen: Dict[str, float] = {}
+        self.suspected: set = set()
+        self.running = False
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Begin sending heartbeats and checking peers."""
+        if self.running:
+            return
+        self.running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self.running = False
+
+    # ----------------------------------------------------------------- protocol
+
+    def _tick(self) -> None:
+        if not self.running:
+            return
+        self.sequence += 1
+        group_id = self.group_id_fn()
+        heartbeat = Heartbeat(sender=self.address, group_id=group_id, sequence=self.sequence)
+        now = self.sim.now
+        for peer in self.peers_fn():
+            if peer == self.address:
+                continue
+            self.send_fn(peer, heartbeat)
+            self.last_seen.setdefault(peer, now)
+        self._check_peers()
+        self.sim.schedule(self.config.period, self._tick, tag=f"{self.address}:hb")
+
+    def observe(self, heartbeat: Heartbeat) -> None:
+        """Record a heartbeat received from a peer."""
+        self.last_seen[heartbeat.sender] = self.sim.now
+        self.suspected.discard(heartbeat.sender)
+
+    def forget(self, peer: str) -> None:
+        """Drop state about a peer that left or was evicted."""
+        self.last_seen.pop(peer, None)
+        self.suspected.discard(peer)
+
+    def _check_peers(self) -> None:
+        deadline = self.config.period * self.config.misses_before_eviction
+        now = self.sim.now
+        current_peers = set(self.peers_fn())
+        for peer in list(self.last_seen):
+            if peer not in current_peers:
+                self.forget(peer)
+                continue
+            if peer in self.suspected:
+                continue
+            if now - self.last_seen[peer] > deadline:
+                self.suspected.add(peer)
+                self.sim.metrics.increment("group.evictions_proposed")
+                self.suspect_fn(peer)
+
+
+__all__ = ["Heartbeat", "HeartbeatConfig", "HeartbeatMonitor"]

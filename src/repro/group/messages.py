@@ -1,0 +1,177 @@
+"""Group messages: reliable communication between pairs of vgroups.
+
+A group message from vgroup A to vgroup B is a message that all correct nodes
+of A send to all nodes of B; a node of B *accepts* it once it has received the
+message from a strict majority of A's membership (paper section 3.1).  Because
+every vgroup has a correct majority, an accepted group message is guaranteed to
+originate from a decision of A's state machine, not from a Byzantine minority.
+
+The messenger also implements the *message digest* optimisation of section
+5.1: only a majority of A's nodes send the full payload, the remaining nodes
+send just a digest.  Digest copies count towards acceptance, but delivery to
+the upper layer happens only once a full copy is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.crypto.digest import digest_object
+from repro.group.vgroup import VGroupView, majority_threshold
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class NodeBinding:
+    """How the messenger is attached to its host node."""
+
+    address: str
+    network: Network
+    sim: Simulator
+
+
+@dataclass
+class GroupMessageEnvelope:
+    """Node-level wire format of one share of a group message.
+
+    Attributes:
+        gm_id: Identifier of the group message (same for all shares).
+        source_group: Group id of the sending vgroup.
+        source_epoch: Epoch of the sender's view of its own vgroup.
+        target_group: Group id of the destination vgroup.
+        kind: Application-level type tag (e.g. ``"gossip"``, ``"walk"``).
+        payload: Full payload, or ``None`` when this share carries only a digest.
+        digest: Digest of the payload (always present).
+        sender_group_size: Size of the sending vgroup (for majority counting).
+    """
+
+    gm_id: str
+    source_group: str
+    source_epoch: int
+    target_group: str
+    kind: str
+    payload: Optional[Any]
+    digest: str
+    sender_group_size: int
+
+
+@dataclass
+class _PendingGroupMessage:
+    """Receiver-side accumulation state for one (gm_id, digest) pair."""
+
+    senders: Set[str] = field(default_factory=set)
+    full_payload: Optional[Any] = None
+    accepted: bool = False
+    delivered: bool = False
+
+
+class GroupMessenger:
+    """Per-node component that sends and accepts group messages.
+
+    The host node provides its current view of its own vgroup via
+    ``own_view_fn`` and receives accepted group messages through the
+    ``on_accept`` callback, which is invoked exactly once per group message
+    with ``(kind, payload, source_group, gm_id)``.
+    """
+
+    def __init__(
+        self,
+        binding: NodeBinding,
+        own_view_fn: Callable[[], VGroupView],
+        on_accept: Callable[[str, Any, str, str], None],
+        payload_bytes: int = 1024,
+        digest_bytes: int = 96,
+        use_digest_optimization: bool = True,
+    ) -> None:
+        self.binding = binding
+        self.own_view_fn = own_view_fn
+        self.on_accept = on_accept
+        self.payload_bytes = payload_bytes
+        self.digest_bytes = digest_bytes
+        self.use_digest_optimization = use_digest_optimization
+        self._pending: Dict[Tuple[str, str], _PendingGroupMessage] = {}
+        self._gm_counter = 0
+
+    # ------------------------------------------------------------------ sending
+
+    def next_gm_id(self, label: str = "gm") -> str:
+        self._gm_counter += 1
+        return f"{self.binding.address}/{label}/{self._gm_counter}"
+
+    def send(
+        self,
+        target_view: VGroupView,
+        kind: str,
+        payload: Any,
+        gm_id: Optional[str] = None,
+        payload_bytes: Optional[int] = None,
+    ) -> str:
+        """Send this node's share of a group message to every node of ``target_view``.
+
+        Every correct member of the sending vgroup is expected to make the same
+        call with the same ``gm_id`` (they all execute the same decided
+        operation); this method sends only the local node's shares.
+        """
+        own_view = self.own_view_fn()
+        identifier = gm_id or self.next_gm_id(kind)
+        digest = digest_object(payload)
+        size = payload_bytes if payload_bytes is not None else self.payload_bytes
+
+        # Digest optimisation: order members deterministically; the first
+        # majority sends the full payload, the rest send only the digest.
+        members = list(own_view.members)
+        full_senders = set(members[: majority_threshold(len(members))])
+        send_full = (not self.use_digest_optimization) or (
+            self.binding.address in full_senders
+        ) or (self.binding.address not in members)
+
+        burst = []
+        for destination in target_view.members:
+            envelope = GroupMessageEnvelope(
+                gm_id=identifier,
+                source_group=own_view.group_id,
+                source_epoch=own_view.epoch,
+                target_group=target_view.group_id,
+                kind=kind,
+                payload=payload if send_full else None,
+                digest=digest,
+                sender_group_size=own_view.size,
+            )
+            burst.append(
+                (destination, envelope, size if send_full else self.digest_bytes)
+            )
+        self.binding.network.send_burst(self.binding.address, burst)
+        self.binding.sim.metrics.increment("group.shares_sent", len(burst))
+        return identifier
+
+    # ---------------------------------------------------------------- receiving
+
+    def handle(self, envelope: GroupMessageEnvelope, sender: str) -> None:
+        """Process one share of a group message arriving from ``sender``."""
+        key = (envelope.gm_id, envelope.digest)
+        state = self._pending.setdefault(key, _PendingGroupMessage())
+        if state.delivered:
+            return
+        state.senders.add(sender)
+        if envelope.payload is not None and state.full_payload is None:
+            state.full_payload = envelope.payload
+
+        required = majority_threshold(max(1, envelope.sender_group_size))
+        if len(state.senders) >= required:
+            state.accepted = True
+        if state.accepted and state.full_payload is not None and not state.delivered:
+            state.delivered = True
+            self.binding.sim.metrics.increment("group.messages_accepted")
+            self.on_accept(
+                envelope.kind, state.full_payload, envelope.source_group, envelope.gm_id
+            )
+
+    # ----------------------------------------------------------------- queries
+
+    def pending_count(self) -> int:
+        return sum(1 for state in self._pending.values() if not state.delivered)
+
+
+__all__ = ["GroupMessenger", "GroupMessageEnvelope", "NodeBinding"]

@@ -1,0 +1,184 @@
+"""Latency models for the simulated network.
+
+Two ready-made profiles mirror the paper's two deployment environments:
+
+* :class:`LanProfile` -- a single EC2 datacenter (Ireland), used for the
+  synchronous Atum variant.  Latencies are sub-millisecond to a few
+  milliseconds and tightly concentrated.
+* :class:`WanProfile` -- 8 regions across Europe, Asia, Australia and America,
+  used for the asynchronous variant.  Latencies depend on the region pair and
+  have a heavier tail.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class LatencyModel(abc.ABC):
+    """Samples a one-way network latency (seconds) for a sender/receiver pair."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
+        """Return a latency sample in seconds."""
+
+
+@dataclass
+class FixedLatency(LatencyModel):
+    """A constant latency; useful in unit tests for exact timing assertions."""
+
+    latency: float = 0.001
+
+    def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
+        return self.latency
+
+
+@dataclass
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    low: float = 0.0005
+    high: float = 0.002
+
+    def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class LogNormalLatency(LatencyModel):
+    """Log-normally distributed latency around a median with a tail.
+
+    ``median`` is the 50th percentile in seconds and ``sigma`` controls the
+    spread of the distribution (in log space).
+    """
+
+    median: float = 0.001
+    sigma: float = 0.3
+    floor: float = 0.0001
+
+    def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
+        value = rng.lognormvariate(math.log(self.median), self.sigma)
+        return max(self.floor, value)
+
+
+class LanProfile(LogNormalLatency):
+    """Single-datacenter latency profile (median 0.5 ms, light tail)."""
+
+    def __init__(self) -> None:
+        super().__init__(median=0.0005, sigma=0.25, floor=0.0001)
+
+
+#: Representative one-way latencies (seconds) between EC2-like regions.
+_REGION_BASE_LATENCY: Dict[Tuple[str, str], float] = {}
+
+
+def _register_region_pair(a: str, b: str, latency: float) -> None:
+    _REGION_BASE_LATENCY[(a, b)] = latency
+    _REGION_BASE_LATENCY[(b, a)] = latency
+
+
+_DEFAULT_REGIONS: Sequence[str] = (
+    "eu-west",      # Ireland
+    "eu-central",   # Frankfurt
+    "us-east",      # Virginia
+    "us-west",      # Oregon
+    "sa-east",      # Sao Paulo
+    "ap-southeast", # Singapore
+    "ap-northeast", # Tokyo
+    "ap-sydney",    # Sydney
+)
+
+# Approximate one-way WAN latencies between the 8 regions used in the paper's
+# asynchronous deployment (values in seconds; derived from public RTT tables).
+_register_region_pair("eu-west", "eu-central", 0.012)
+_register_region_pair("eu-west", "us-east", 0.040)
+_register_region_pair("eu-west", "us-west", 0.070)
+_register_region_pair("eu-west", "sa-east", 0.092)
+_register_region_pair("eu-west", "ap-southeast", 0.088)
+_register_region_pair("eu-west", "ap-northeast", 0.105)
+_register_region_pair("eu-west", "ap-sydney", 0.140)
+_register_region_pair("eu-central", "us-east", 0.045)
+_register_region_pair("eu-central", "us-west", 0.075)
+_register_region_pair("eu-central", "sa-east", 0.100)
+_register_region_pair("eu-central", "ap-southeast", 0.082)
+_register_region_pair("eu-central", "ap-northeast", 0.110)
+_register_region_pair("eu-central", "ap-sydney", 0.145)
+_register_region_pair("us-east", "us-west", 0.032)
+_register_region_pair("us-east", "sa-east", 0.060)
+_register_region_pair("us-east", "ap-southeast", 0.110)
+_register_region_pair("us-east", "ap-northeast", 0.080)
+_register_region_pair("us-east", "ap-sydney", 0.100)
+_register_region_pair("us-west", "sa-east", 0.090)
+_register_region_pair("us-west", "ap-southeast", 0.085)
+_register_region_pair("us-west", "ap-northeast", 0.055)
+_register_region_pair("us-west", "ap-sydney", 0.070)
+_register_region_pair("sa-east", "ap-southeast", 0.160)
+_register_region_pair("sa-east", "ap-northeast", 0.130)
+_register_region_pair("sa-east", "ap-sydney", 0.155)
+_register_region_pair("ap-southeast", "ap-northeast", 0.035)
+_register_region_pair("ap-southeast", "ap-sydney", 0.045)
+_register_region_pair("ap-northeast", "ap-sydney", 0.052)
+
+
+@dataclass
+class RegionalLatency(LatencyModel):
+    """Latency derived from a node-to-region assignment.
+
+    Intra-region messages use a LAN-like latency.  Inter-region messages use
+    the base latency of the region pair with log-normal jitter.
+    """
+
+    region_of: Dict[str, str]
+    intra_region_median: float = 0.001
+    jitter_sigma: float = 0.15
+    default_inter_region: float = 0.080
+
+    def region(self, address: str) -> str:
+        return self.region_of.get(address, _DEFAULT_REGIONS[0])
+
+    def base_latency(self, sender: str, receiver: str) -> float:
+        region_a = self.region(sender)
+        region_b = self.region(receiver)
+        if region_a == region_b:
+            return self.intra_region_median
+        return _REGION_BASE_LATENCY.get((region_a, region_b), self.default_inter_region)
+
+    def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
+        base = self.base_latency(sender, receiver)
+        return rng.lognormvariate(math.log(base), self.jitter_sigma)
+
+
+class WanProfile(RegionalLatency):
+    """8-region WAN profile; nodes are assigned to regions round-robin."""
+
+    def __init__(self, addresses: Optional[Sequence[str]] = None) -> None:
+        region_of: Dict[str, str] = {}
+        if addresses:
+            for index, address in enumerate(addresses):
+                region_of[address] = _DEFAULT_REGIONS[index % len(_DEFAULT_REGIONS)]
+        super().__init__(region_of=region_of)
+
+    def assign(self, address: str) -> str:
+        """Assign (and remember) a region for a new address, round-robin."""
+        if address not in self.region_of:
+            index = len(self.region_of) % len(_DEFAULT_REGIONS)
+            self.region_of[address] = _DEFAULT_REGIONS[index]
+        return self.region_of[address]
+
+
+DEFAULT_REGIONS = _DEFAULT_REGIONS
+
+__all__ = [
+    "LatencyModel",
+    "FixedLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LanProfile",
+    "RegionalLatency",
+    "WanProfile",
+    "DEFAULT_REGIONS",
+]

@@ -1,0 +1,190 @@
+"""The simulated network connecting actors.
+
+The network models the aspects of the paper's deployment that matter for
+protocol behaviour:
+
+* per-message propagation latency (:mod:`repro.net.latency`);
+* transfer time proportional to message size and constrained by per-node
+  download bandwidth (this is what makes the incast / "throughput collapse"
+  effect of the paper's section 5.1 observable);
+* optional message loss and network partitions;
+* delivery only to registered, alive actors (a crashed or departed node
+  silently drops traffic, like a closed socket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.net.latency import LatencyModel, LanProfile
+from repro.net.message import Message
+from repro.sim.actor import Actor
+from repro.sim.simulator import Simulator
+
+
+@dataclass
+class NetworkConfig:
+    """Tunable parameters of the simulated network.
+
+    Attributes:
+        bandwidth_bytes_per_s: Per-node download bandwidth.  EC2 micro
+            instances (the paper's node type) provide on the order of
+            8 MB/s of sustained throughput.
+        loss_probability: Probability that an individual message is dropped.
+        headers_bytes: Fixed per-message overhead added to every payload.
+        randomized_send_order: When a burst of messages is submitted with
+            :meth:`Network.send_burst`, shuffle the order to avoid incast
+            (paper section 5.1, "Randomized message sending").
+    """
+
+    bandwidth_bytes_per_s: float = 8_000_000.0
+    loss_probability: float = 0.0
+    headers_bytes: int = 64
+    randomized_send_order: bool = True
+
+
+class Network:
+    """Delivers messages between registered actors over a latency model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency_model: Optional[LatencyModel] = None,
+        config: Optional[NetworkConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.latency_model = latency_model or LanProfile()
+        self.config = config or NetworkConfig()
+        self._actors: Dict[str, Actor] = {}
+        self._partitioned: Set[str] = set()
+        self._rng = sim.rng.stream("network")
+        # Tracks when each receiving node's downlink frees up, used to model
+        # queueing of large transfers at the receiver.
+        self._downlink_free_at: Dict[str, float] = {}
+
+    # --------------------------------------------------------------- membership
+
+    def register(self, actor: Actor) -> None:
+        """Attach an actor to the network so it can receive messages."""
+        self._actors[actor.address] = actor
+
+    def unregister(self, address: str) -> None:
+        """Detach an actor; future messages to it are dropped."""
+        self._actors.pop(address, None)
+        self._downlink_free_at.pop(address, None)
+
+    def actor(self, address: str) -> Optional[Actor]:
+        return self._actors.get(address)
+
+    def addresses(self) -> Iterable[str]:
+        return self._actors.keys()
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._actors
+
+    # --------------------------------------------------------------- partitions
+
+    def partition(self, addresses: Iterable[str]) -> None:
+        """Isolate the given addresses: they can neither send nor receive."""
+        self._partitioned.update(addresses)
+
+    def heal(self, addresses: Optional[Iterable[str]] = None) -> None:
+        """Heal a partition for the given addresses (or all, if omitted)."""
+        if addresses is None:
+            self._partitioned.clear()
+        else:
+            self._partitioned.difference_update(addresses)
+
+    def is_partitioned(self, address: str) -> bool:
+        return address in self._partitioned
+
+    # ------------------------------------------------------------------ sending
+
+    def send(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> Optional[Message]:
+        """Send one message.  Returns the in-flight message, or ``None`` if dropped."""
+        message = Message(
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            size_bytes=size_bytes,
+            sent_at=self.sim.now,
+        )
+        return self._dispatch(message)
+
+    def send_burst(
+        self,
+        sender: str,
+        messages: Iterable[tuple[str, Any, int]],
+    ) -> int:
+        """Send a burst of ``(receiver, payload, size_bytes)`` messages.
+
+        If :attr:`NetworkConfig.randomized_send_order` is enabled the burst is
+        shuffled before submission, which spreads load over receivers' downlinks
+        and mirrors Atum's randomized message sending.
+        Returns the number of messages actually dispatched (not dropped).
+        """
+        batch = list(messages)
+        if self.config.randomized_send_order:
+            self._rng.shuffle(batch)
+        dispatched = 0
+        for receiver, payload, size_bytes in batch:
+            if self.send(sender, receiver, payload, size_bytes) is not None:
+                dispatched += 1
+        return dispatched
+
+    # ----------------------------------------------------------------- internals
+
+    def _dispatch(self, message: Message) -> Optional[Message]:
+        metrics = self.sim.metrics
+        metrics.increment("net.messages_sent")
+        metrics.increment("net.bytes_sent", message.size_bytes)
+
+        if message.sender in self._partitioned or message.receiver in self._partitioned:
+            metrics.increment("net.messages_partitioned")
+            return None
+        if self.config.loss_probability > 0.0 and (
+            self._rng.random() < self.config.loss_probability
+        ):
+            metrics.increment("net.messages_lost")
+            return None
+
+        propagation = self.latency_model.sample(
+            self._rng, message.sender, message.receiver
+        )
+        total_bytes = message.size_bytes + self.config.headers_bytes
+        transfer = total_bytes / self.config.bandwidth_bytes_per_s
+
+        # Model receiver downlink serialization: a large transfer occupies the
+        # downlink and delays subsequently arriving messages.
+        arrival_start = max(
+            self.sim.now + propagation,
+            self._downlink_free_at.get(message.receiver, 0.0),
+        )
+        delivery_time = arrival_start + transfer
+        self._downlink_free_at[message.receiver] = delivery_time
+
+        delay = delivery_time - self.sim.now
+        self.sim.schedule(delay, lambda: self._deliver(message), tag="net.deliver")
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        actor = self._actors.get(message.receiver)
+        if actor is None or not actor.alive:
+            self.sim.metrics.increment("net.messages_undeliverable")
+            return
+        if message.receiver in self._partitioned:
+            self.sim.metrics.increment("net.messages_partitioned")
+            return
+        self.sim.metrics.increment("net.messages_delivered")
+        self.sim.metrics.observe("net.delivery_latency", self.sim.now - message.sent_at)
+        actor.on_message(message.payload, message.sender)
+
+
+__all__ = ["Network", "NetworkConfig"]

@@ -1,0 +1,45 @@
+"""Overlay layer: H-graph, gossip, random walks, shuffling, logarithmic grouping.
+
+The overlay connects vgroups (paper section 3.2).  Its pieces:
+
+* :class:`repro.overlay.hgraph.HGraph` -- a multigraph made of a constant
+  number of random Hamiltonian cycles over the vgroups.
+* :mod:`repro.overlay.random_walk` -- random walks over the H-graph, with bulk
+  RNG and the two reply schemes (backward phase / certificate chains).
+* :mod:`repro.overlay.guideline` -- the simulation that produces the paper's
+  Figure 4 configuration guideline (optimal walk length per cycle count),
+  based on a Pearson chi-square uniformity test.
+* :mod:`repro.overlay.gossip` -- forwarding policies for gossip dissemination
+  (random neighbours, flooding all cycles, a fixed number of cycles).
+* :class:`repro.overlay.membership.MembershipEngine` -- the vgroup-granularity
+  engine that executes joins, leaves, random-walk shuffling, and logarithmic
+  grouping (splits and merges) on the simulator.
+"""
+
+from repro.overlay.hgraph import HGraph
+from repro.overlay.random_walk import (
+    WalkMode,
+    BulkRng,
+    structural_walk,
+    RandomWalkOutcome,
+)
+from repro.overlay.gossip import ForwardPolicy, flood_policy, single_cycle_policy, random_policy
+from repro.overlay.guideline import uniformity_pvalue, optimal_walk_length, guideline_table
+from repro.overlay.membership import MembershipEngine, MembershipConfig
+
+__all__ = [
+    "HGraph",
+    "WalkMode",
+    "BulkRng",
+    "structural_walk",
+    "RandomWalkOutcome",
+    "ForwardPolicy",
+    "flood_policy",
+    "single_cycle_policy",
+    "random_policy",
+    "uniformity_pvalue",
+    "optimal_walk_length",
+    "guideline_table",
+    "MembershipEngine",
+    "MembershipConfig",
+]

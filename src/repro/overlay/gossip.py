@@ -1,0 +1,122 @@
+"""Gossip forwarding policies over the H-graph.
+
+Atum disseminates broadcast messages by gossiping group messages along the
+H-graph edges.  Which neighbours a vgroup forwards to is decided by the
+application-provided ``forward`` callback (paper section 3.3.4); this module
+provides the standard policies discussed in the paper:
+
+* :func:`flood_policy` -- forward on every cycle (lowest latency, most load);
+* :func:`single_cycle_policy` / :func:`cycles_policy` -- forward only along a
+  fixed number of cycles (used by AStream to trade latency for throughput);
+* :func:`random_policy` -- classic gossip: forward to a random subset of
+  neighbours, while always including one deterministic cycle so that the
+  probabilistic delivery of gossip becomes deterministic (section 3.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Set, Tuple
+
+from repro.overlay.hgraph import HGraph
+
+#: A forward policy maps (graph, current vgroup, message id, rng) to the list
+#: of neighbour vgroups to forward to.
+ForwardPolicy = Callable[[HGraph, str, str, random.Random], List[str]]
+
+
+def _cycle_neighbors(graph: HGraph, vertex: str, cycles: Sequence[int]) -> List[str]:
+    neighbors: List[str] = []
+    seen: Set[str] = set()
+    for cycle in cycles:
+        for neighbor in graph.cycle_neighbors(vertex, cycle):
+            if neighbor != vertex and neighbor not in seen:
+                seen.add(neighbor)
+                neighbors.append(neighbor)
+    return neighbors
+
+
+def flood_policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
+    """Forward to every neighbour on every cycle (latency-optimal)."""
+    return _cycle_neighbors(graph, vertex, range(graph.hc))
+
+
+def cycles_policy(count: int) -> ForwardPolicy:
+    """Forward along the first ``count`` cycles only (throughput-friendly).
+
+    The cycle subset is deterministic (derived from the message id) so that
+    every vgroup uses the same cycles for a given stream, which is what keeps
+    delivery deterministic.
+    """
+
+    def policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
+        usable = min(count, graph.hc)
+        # Derive a stable starting cycle from the message id so different
+        # streams spread over different cycles.
+        start = sum(ord(ch) for ch in message_id) % graph.hc
+        cycles = [(start + offset) % graph.hc for offset in range(usable)]
+        return _cycle_neighbors(graph, vertex, cycles)
+
+    return policy
+
+
+def single_cycle_policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
+    """Forward along a single cycle (the ``Single`` configuration of AStream)."""
+    return cycles_policy(1)(graph, vertex, message_id, rng)
+
+
+def random_policy(fanout: int = 2, guaranteed_cycle: int = 0) -> ForwardPolicy:
+    """Classic gossip: ``fanout`` random neighbours plus one guaranteed cycle.
+
+    Forwarding always includes both neighbours on ``guaranteed_cycle``; this is
+    the mechanism by which Atum turns gossip's probabilistic delivery guarantee
+    into a deterministic one (every vgroup gossips at least with its neighbours
+    on a specific cycle, so the message traverses that whole cycle).
+    """
+
+    def policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
+        guaranteed = _cycle_neighbors(graph, vertex, [guaranteed_cycle % graph.hc])
+        others = [n for n in graph.neighbors(vertex) if n not in guaranteed]
+        rng.shuffle(others)
+        return guaranteed + others[:fanout]
+
+    return policy
+
+
+def dissemination_rounds(
+    graph: HGraph,
+    origin: str,
+    policy: ForwardPolicy,
+    rng: random.Random,
+    message_id: str = "m",
+    max_rounds: int = 1000,
+) -> Tuple[int, Set[str]]:
+    """Simulate round-by-round dissemination; return (rounds, reached vertices).
+
+    This structural helper is used in tests and in the latency model: it tells
+    how many gossip hops are needed for a message forwarded under ``policy`` to
+    reach every vgroup.
+    """
+    reached: Set[str] = {origin}
+    frontier: Set[str] = {origin}
+    rounds = 0
+    while frontier and len(reached) < len(graph) and rounds < max_rounds:
+        next_frontier: Set[str] = set()
+        for vertex in frontier:
+            for neighbor in policy(graph, vertex, message_id, rng):
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    next_frontier.add(neighbor)
+        frontier = next_frontier
+        rounds += 1
+    return rounds, reached
+
+
+__all__ = [
+    "ForwardPolicy",
+    "flood_policy",
+    "cycles_policy",
+    "single_cycle_policy",
+    "random_policy",
+    "dissemination_rounds",
+]

@@ -1,0 +1,102 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+guarantees a deterministic total order even when many events share the same
+timestamp, which is essential for reproducible simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback in simulated time.
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Tie-breaker among events at the same time (lower first).
+        seq: Monotonic sequence number assigned by the queue; makes ordering
+            total and deterministic.
+        callback: Zero-argument callable invoked when the event fires.
+        cancelled: Set by :meth:`cancel`; cancelled events are skipped.
+        tag: Optional human-readable label used in traces and debugging.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    tag: Optional[str] = field(default=None, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; it will be skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` at ``time`` and return the event handle."""
+        event = Event(
+            time=time,
+            priority=priority,
+            seq=next(self._counter),
+            callback=callback,
+            tag=tag,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next non-cancelled event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def notify_cancelled(self) -> None:
+        """Account for an externally cancelled event (keeps ``len`` accurate)."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+
+__all__ = ["Event", "EventQueue"]

@@ -1,0 +1,141 @@
+"""Lightweight metrics collection for simulations.
+
+The benchmark harness and the integration tests inspect protocol behaviour
+through these metrics rather than by poking protocol internals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass
+class Histogram:
+    """A simple sample-accumulating histogram with percentile queries."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        self.samples.append(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, p: float) -> float:
+        """Return the ``p``-th percentile (0..100) using nearest-rank."""
+        if not self.samples:
+            return math.nan
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def cdf(self) -> List[Tuple[float, float]]:
+        """Return the empirical CDF as ``(value, fraction <= value)`` pairs."""
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+@dataclass
+class TimeSeries:
+    """A time-stamped series of values (e.g. system size over time)."""
+
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [value for _, value in self.points]
+
+    def times(self) -> List[float]:
+        return [time for time, _ in self.points]
+
+    def last(self) -> Tuple[float, float]:
+        if not self.points:
+            raise ValueError("time series is empty")
+        return self.points[-1]
+
+    def value_at(self, time: float) -> float:
+        """Return the last recorded value at or before ``time`` (step function)."""
+        best = None
+        for point_time, value in self.points:
+            if point_time <= time:
+                best = value
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no sample at or before t={time}")
+        return best
+
+
+class MetricsRegistry:
+    """Counters, histograms and time series addressed by name."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = defaultdict(float)
+        self.histograms: Dict[str, Histogram] = defaultdict(Histogram)
+        self.series: Dict[str, TimeSeries] = defaultdict(TimeSeries)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histograms[name].record(value)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.histograms[name]
+
+    def record_point(self, name: str, time: float, value: float) -> None:
+        self.series[name].record(time, value)
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Return a flat view of counters plus histogram means (for reports)."""
+        flat: Dict[str, float] = dict(self.counters)
+        for name, histogram in self.histograms.items():
+            if histogram.count:
+                flat[f"{name}.mean"] = histogram.mean
+                flat[f"{name}.count"] = float(histogram.count)
+        return flat
+
+    @staticmethod
+    def merge_histograms(histograms: Iterable[Histogram]) -> Histogram:
+        merged = Histogram()
+        for histogram in histograms:
+            merged.samples.extend(histogram.samples)
+        return merged
+
+
+__all__ = ["Histogram", "TimeSeries", "MetricsRegistry"]

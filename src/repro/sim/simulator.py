@@ -1,0 +1,152 @@
+"""The simulation event loop and clock."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulator (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    The simulator owns the simulated clock, the event queue, the registry of
+    random streams and the metrics registry.  All protocol components hold a
+    reference to a single ``Simulator`` and interact with simulated time only
+    through it.
+
+    Typical usage::
+
+        sim = Simulator(seed=7)
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.queue = EventQueue()
+        self.rng = RngRegistry(seed)
+        self.metrics = MetricsRegistry()
+        self._now = 0.0
+        self._processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------ clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    # -------------------------------------------------------------- scheduling
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.queue.push(self._now + delay, callback, priority=priority, tag=tag)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``callback`` to run at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} which is before now={self._now}"
+            )
+        return self.queue.push(time, callback, priority=priority, tag=tag)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        if not event.cancelled:
+            event.cancel()
+            self.queue.notify_cancelled()
+
+    # ------------------------------------------------------------------- runs
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to stop after the current event."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        event = self.queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        event.callback()
+        self._processed += 1
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Run the event loop.
+
+        Args:
+            until: Stop once simulated time would exceed this value.  Events at
+                exactly ``until`` are processed.
+            max_events: Stop after this many events (safety valve in tests).
+
+        Returns:
+            The simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        self._stop_requested = False
+        processed_this_run = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    break
+                next_time = self.queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed_this_run += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and self.queue.peek_time() is None:
+            # Nothing left to do before the horizon; advance the clock so that
+            # callers observing ``now`` see the requested horizon.
+            self._now = until
+        return self._now
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> float:
+        """Run until the event queue drains completely."""
+        return self.run(max_events=max_events)
+
+
+__all__ = ["Simulator", "SimulationError"]

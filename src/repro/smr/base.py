@@ -1,0 +1,149 @@
+"""Common interface of the SMR engines used inside volatile groups."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.crypto.keys import KeyRegistry
+from repro.sim.simulator import Simulator
+
+
+def sync_fault_threshold(group_size: int) -> int:
+    """Faults tolerated by the synchronous engine: ``f = (g - 1) // 2``."""
+    return max(0, (group_size - 1) // 2)
+
+
+def async_fault_threshold(group_size: int) -> int:
+    """Faults tolerated by the asynchronous engine: ``f = (g - 1) // 3``."""
+    return max(0, (group_size - 1) // 3)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An operation submitted to the replicated state machine.
+
+    Attributes:
+        kind: Operation type (e.g. ``"broadcast"``, ``"join"``, ``"leave"``,
+            ``"reconfigure"``); interpreted by the group layer.
+        body: Operation payload.
+        proposer: Address of the node that submitted the operation.
+        op_id: Unique identifier assigned by the proposer.
+    """
+
+    kind: str
+    body: Any
+    proposer: str
+    op_id: str
+
+
+@dataclass
+class SmrConfig:
+    """Configuration shared by the SMR engines.
+
+    Attributes:
+        round_duration: Length of a synchronous round in seconds (Sync only).
+        request_timeout: View-change timeout in seconds (Async only).
+        message_bytes: Nominal size of a protocol message for the network model.
+        max_instances: Safety valve on concurrently active instances.
+    """
+
+    round_duration: float = 1.0
+    request_timeout: float = 2.0
+    message_bytes: int = 512
+    max_instances: int = 10_000
+
+
+class SmrReplica(abc.ABC):
+    """One replica of a BFT state machine, embedded in a host node.
+
+    The replica does not talk to the network directly; the host wires it up by
+    providing ``send_fn(peer, payload, size_bytes)`` for outgoing protocol
+    messages and receives decided operations through ``decide_fn(operation)``.
+    Decided operations are delivered in the same order at every correct
+    replica of the group.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        members: Sequence[str],
+        registry: KeyRegistry,
+        send_fn: Callable[[str, Any, int], None],
+        decide_fn: Callable[[Operation], None],
+        config: Optional[SmrConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.node_id = node_id
+        self.members: List[str] = list(members)
+        self.registry = registry
+        self.send_fn = send_fn
+        self.decide_fn = decide_fn
+        self.config = config or SmrConfig()
+        self.decided_log: List[Operation] = []
+        self.running = True
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def group_size(self) -> int:
+        return len(self.members)
+
+    @property
+    @abc.abstractmethod
+    def fault_threshold(self) -> int:
+        """Number of Byzantine replicas this engine tolerates at this size."""
+
+    def quorum_size(self) -> int:
+        """Votes needed to accept a group-level statement (simple majority)."""
+        return len(self.members) // 2 + 1
+
+    def other_members(self) -> List[str]:
+        return [member for member in self.members if member != self.node_id]
+
+    # -------------------------------------------------------------------- API
+
+    @abc.abstractmethod
+    def propose(self, operation: Operation) -> None:
+        """Submit an operation for agreement."""
+
+    @abc.abstractmethod
+    def on_message(self, payload: Any, sender: str) -> None:
+        """Handle an SMR protocol message from a group peer."""
+
+    def reconfigure(self, new_members: Sequence[str]) -> None:
+        """Install a new membership (SMART-style epoch change).
+
+        Engines override this to reset in-flight state; the base implementation
+        just replaces the member list.
+        """
+        self.members = list(new_members)
+
+    def stop(self) -> None:
+        """Stop participating (the host node left the group or the system)."""
+        self.running = False
+
+    # ----------------------------------------------------------------- helpers
+
+    def _commit(self, operation: Operation) -> None:
+        """Append to the decided log and notify the host."""
+        self.decided_log.append(operation)
+        self.sim.metrics.increment("smr.decided")
+        self.decide_fn(operation)
+
+    def _broadcast(self, payload: Any, size_bytes: Optional[int] = None) -> None:
+        size = size_bytes if size_bytes is not None else self.config.message_bytes
+        for member in self.members:
+            if member != self.node_id:
+                self.send_fn(member, payload, size)
+
+
+__all__ = [
+    "Operation",
+    "SmrConfig",
+    "SmrReplica",
+    "sync_fault_threshold",
+    "async_fault_threshold",
+]

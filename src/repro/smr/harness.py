@@ -1,0 +1,144 @@
+"""A harness that runs a set of SMR replicas as actors over the network.
+
+The harness is used by unit/integration tests and by the latency benchmarks to
+exercise the SMR engines in isolation (outside the full Atum stack), and it
+doubles as the calibration tool that measures agreement latency as a function
+of group size for the group-level cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Type
+
+from repro.crypto.keys import KeyRegistry
+from repro.net.latency import LatencyModel
+from repro.net.network import Network, NetworkConfig
+from repro.sim.actor import Actor
+from repro.sim.simulator import Simulator
+from repro.smr.base import Operation, SmrConfig, SmrReplica
+from repro.smr.dolev_strong import SyncSmrReplica
+
+
+class _ReplicaActor(Actor):
+    """Wraps an SMR replica as a network actor."""
+
+    def __init__(self, sim: Simulator, address: str) -> None:
+        super().__init__(sim, address)
+        self.replica: Optional[SmrReplica] = None
+        self.decided: List[Operation] = []
+        self.decide_times: Dict[str, float] = {}
+        self.byzantine_silent = False
+
+    def on_message(self, payload: Any, sender: str) -> None:
+        if self.byzantine_silent or self.replica is None:
+            return
+        self.replica.on_message(payload, sender)
+
+    def record_decision(self, operation: Operation) -> None:
+        self.decided.append(operation)
+        self.decide_times[operation.op_id] = self.sim.now
+
+
+@dataclass
+class ReplicaGroupHarness:
+    """Builds a single replica group of a given size on a fresh simulator.
+
+    Attributes:
+        group_size: Number of replicas.
+        replica_class: SMR engine to instantiate (Sync or PBFT).
+        config: SMR configuration (round duration, timeouts, ...).
+        seed: Master seed for the simulation.
+        latency_model: Optional network latency model.
+        silent_byzantine: Addresses behaving as silent Byzantine replicas
+            (they receive nothing and send nothing).
+    """
+
+    group_size: int
+    replica_class: Type[SmrReplica] = SyncSmrReplica
+    config: SmrConfig = field(default_factory=SmrConfig)
+    seed: int = 0
+    latency_model: Optional[LatencyModel] = None
+    silent_byzantine: Sequence[str] = ()
+
+    def __post_init__(self) -> None:
+        self.sim = Simulator(seed=self.seed)
+        self.network = Network(self.sim, latency_model=self.latency_model, config=NetworkConfig())
+        self.registry = KeyRegistry()
+        self.addresses = [f"replica-{index}" for index in range(self.group_size)]
+        self.actors: Dict[str, _ReplicaActor] = {}
+        for address in self.addresses:
+            actor = _ReplicaActor(self.sim, address)
+            self.actors[address] = actor
+            self.network.register(actor)
+            self.registry.generate(address)
+        for address in self.addresses:
+            actor = self.actors[address]
+            replica = self.replica_class(
+                sim=self.sim,
+                node_id=address,
+                members=self.addresses,
+                registry=self.registry,
+                send_fn=self._make_send(address),
+                decide_fn=actor.record_decision,
+                config=self.config,
+            )
+            actor.replica = replica
+            if address in self.silent_byzantine:
+                actor.byzantine_silent = True
+                replica.stop()
+
+    def _make_send(self, sender: str) -> Callable[[str, Any, int], None]:
+        def send(peer: str, payload: Any, size_bytes: int) -> None:
+            if self.actors[sender].byzantine_silent:
+                return
+            self.network.send(sender, peer, payload, size_bytes)
+        return send
+
+    # ------------------------------------------------------------------- runs
+
+    def propose(self, proposer: str, kind: str, body: Any, op_id: Optional[str] = None) -> Operation:
+        """Submit an operation through the given proposer replica."""
+        operation = Operation(
+            kind=kind,
+            body=body,
+            proposer=proposer,
+            op_id=op_id or f"{proposer}-op-{self.sim.processed_events}-{len(self.actors[proposer].decided)}",
+        )
+        replica = self.actors[proposer].replica
+        assert replica is not None
+        replica.propose(operation)
+        return operation
+
+    def run(self, until: Optional[float] = None, max_events: int = 2_000_000) -> float:
+        return self.sim.run(until=until, max_events=max_events)
+
+    # ---------------------------------------------------------------- analysis
+
+    def correct_actors(self) -> List[_ReplicaActor]:
+        return [
+            actor for actor in self.actors.values() if not actor.byzantine_silent
+        ]
+
+    def decided_logs(self) -> List[List[str]]:
+        """Return decided op-id logs of all correct replicas."""
+        return [[op.op_id for op in actor.decided] for actor in self.correct_actors()]
+
+    def all_correct_decided(self, op_id: str) -> bool:
+        return all(
+            op_id in {op.op_id for op in actor.decided} for actor in self.correct_actors()
+        )
+
+    def decision_latency(self, op_id: str, proposed_at: float = 0.0) -> float:
+        """Latency until the last correct replica decided ``op_id``."""
+        times = [
+            actor.decide_times[op_id]
+            for actor in self.correct_actors()
+            if op_id in actor.decide_times
+        ]
+        if not times:
+            raise ValueError(f"operation {op_id} was not decided by any correct replica")
+        return max(times) - proposed_at
+
+
+__all__ = ["ReplicaGroupHarness"]

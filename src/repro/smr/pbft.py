@@ -1,0 +1,423 @@
+"""Asynchronous (eventually synchronous) SMR in the style of PBFT.
+
+This is the engine of the paper's *Async* implementation.  The protocol is the
+classic three-phase commit of Castro & Liskov: the primary of the current view
+assigns sequence numbers with PRE-PREPARE, replicas exchange PREPARE and
+COMMIT, and an operation executes once ``2f + 1`` replicas have committed it
+locally.  Safety holds under asynchrony; liveness needs eventual synchrony and
+is restored through view changes when the primary is unresponsive.
+
+Reconfiguration follows the SMART idea adapted by the paper: membership
+changes are ordinary decided operations, and installing one starts a new
+configuration epoch with a fresh view/sequence space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.crypto.digest import digest_object
+from repro.crypto.keys import KeyRegistry
+from repro.sim.simulator import Simulator
+from repro.smr.base import Operation, SmrConfig, SmrReplica, async_fault_threshold
+
+
+# --------------------------------------------------------------------------- messages
+
+
+@dataclass
+class PbftRequest:
+    """A client-style request forwarded to the primary."""
+
+    operation: Operation
+    epoch: int
+
+
+@dataclass
+class PbftPrePrepare:
+    epoch: int
+    view: int
+    seq: int
+    digest: str
+    operation: Operation
+
+
+@dataclass
+class PbftPrepare:
+    epoch: int
+    view: int
+    seq: int
+    digest: str
+    replica: str
+
+
+@dataclass
+class PbftCommit:
+    epoch: int
+    view: int
+    seq: int
+    digest: str
+    replica: str
+
+
+@dataclass
+class PbftViewChange:
+    epoch: int
+    new_view: int
+    replica: str
+    prepared: Tuple[Tuple[int, str], ...]  # (seq, digest) pairs prepared so far
+
+
+@dataclass
+class PbftNewView:
+    epoch: int
+    new_view: int
+    operations: Tuple[Tuple[int, Operation], ...]  # (seq, operation) to re-propose
+
+
+# --------------------------------------------------------------------------- state
+
+
+@dataclass
+class _SlotState:
+    """Per-(view, seq) agreement state."""
+
+    digest: Optional[str] = None
+    operation: Optional[Operation] = None
+    pre_prepared: bool = False
+    prepares: Set[str] = field(default_factory=set)
+    commits: Set[str] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class PbftReplica(SmrReplica):
+    """A PBFT replica embedded inside an Atum node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: str,
+        members: Sequence[str],
+        registry: KeyRegistry,
+        send_fn: Callable[[str, Any, int], None],
+        decide_fn: Callable[[Operation], None],
+        config: Optional[SmrConfig] = None,
+    ) -> None:
+        super().__init__(sim, node_id, members, registry, send_fn, decide_fn, config)
+        self.epoch = 0
+        self.view = 0
+        self.next_seq = 0            # next sequence number assigned by the primary
+        self.last_executed = -1      # highest contiguously executed sequence number
+        self._slots: Dict[Tuple[int, int], _SlotState] = {}
+        self._executed_ops: Set[str] = set()
+        self._pending_requests: Dict[str, Operation] = {}
+        self._view_change_votes: Dict[int, Dict[str, PbftViewChange]] = {}
+        self._view_change_timer_armed = False
+
+    # ------------------------------------------------------------------ queries
+
+    @property
+    def fault_threshold(self) -> int:
+        return async_fault_threshold(len(self.members))
+
+    @property
+    def primary(self) -> str:
+        if not self.members:
+            return self.node_id
+        ordered = sorted(self.members)
+        return ordered[self.view % len(ordered)]
+
+    def is_primary(self) -> bool:
+        return self.primary == self.node_id
+
+    def _quorum_2f1(self) -> int:
+        return 2 * self.fault_threshold + 1
+
+    def _quorum_2f(self) -> int:
+        return 2 * self.fault_threshold
+
+    # -------------------------------------------------------------------- API
+
+    def propose(self, operation: Operation) -> None:
+        """Submit an operation; it is forwarded to the primary of this view."""
+        if not self.running:
+            return
+        if operation.op_id in self._executed_ops:
+            return
+        self._pending_requests[operation.op_id] = operation
+        self._arm_view_change_timer()
+        if self.is_primary():
+            self._assign_and_preprepare(operation)
+        else:
+            # Send the request to every replica (not just the primary): backups
+            # record it as pending so their view-change timers can guarantee
+            # liveness if the primary is faulty, and a future primary can
+            # re-propose it without needing the original proposer.
+            request = PbftRequest(operation=operation, epoch=self.epoch)
+            self._broadcast(request)
+
+    def on_message(self, payload: Any, sender: str) -> None:
+        if not self.running:
+            return
+        if isinstance(payload, PbftRequest):
+            self._on_request(payload, sender)
+        elif isinstance(payload, PbftPrePrepare):
+            self._on_pre_prepare(payload, sender)
+        elif isinstance(payload, PbftPrepare):
+            self._on_prepare(payload, sender)
+        elif isinstance(payload, PbftCommit):
+            self._on_commit(payload, sender)
+        elif isinstance(payload, PbftViewChange):
+            self._on_view_change(payload, sender)
+        elif isinstance(payload, PbftNewView):
+            self._on_new_view(payload, sender)
+
+    def reconfigure(self, new_members: Sequence[str]) -> None:
+        """Install a new configuration epoch with a fresh agreement state."""
+        super().reconfigure(new_members)
+        self.epoch += 1
+        self.view = 0
+        self.next_seq = 0
+        self.last_executed = -1
+        self._slots.clear()
+        self._view_change_votes.clear()
+        # Pending requests survive the epoch change and are re-proposed.
+        pending = list(self._pending_requests.values())
+        self._pending_requests.clear()
+        for operation in pending:
+            if operation.op_id not in self._executed_ops:
+                self.propose(operation)
+
+    # ---------------------------------------------------------------- protocol
+
+    def _on_request(self, request: PbftRequest, sender: str) -> None:
+        if request.epoch != self.epoch:
+            return
+        operation = request.operation
+        if operation.op_id in self._executed_ops:
+            return
+        self._pending_requests.setdefault(operation.op_id, operation)
+        self._arm_view_change_timer()
+        if self.is_primary():
+            self._assign_and_preprepare(operation)
+
+    def _assign_and_preprepare(self, operation: Operation) -> None:
+        digest = digest_object(operation)
+        for slot in self._slots.values():
+            if slot.digest == digest:
+                return  # already assigned a sequence number
+        seq = self.next_seq
+        self.next_seq += 1
+        pre_prepare = PbftPrePrepare(
+            epoch=self.epoch, view=self.view, seq=seq, digest=digest, operation=operation
+        )
+        self.sim.metrics.increment("smr.pbft.pre_prepares")
+        self._broadcast(pre_prepare)
+        self._on_pre_prepare(pre_prepare, self.node_id)
+
+    def _slot(self, view: int, seq: int) -> _SlotState:
+        return self._slots.setdefault((view, seq), _SlotState())
+
+    def _on_pre_prepare(self, message: PbftPrePrepare, sender: str) -> None:
+        if message.epoch != self.epoch or message.view != self.view:
+            return
+        expected_primary = sorted(self.members)[message.view % len(self.members)]
+        if sender != expected_primary and sender != self.node_id:
+            return
+        if digest_object(message.operation) != message.digest:
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.pre_prepared and slot.digest != message.digest:
+            # Equivocating primary; trigger a view change.
+            self._start_view_change()
+            return
+        slot.pre_prepared = True
+        slot.digest = message.digest
+        slot.operation = message.operation
+        self._pending_requests.setdefault(message.operation.op_id, message.operation)
+        self._arm_view_change_timer()
+        prepare = PbftPrepare(
+            epoch=self.epoch,
+            view=message.view,
+            seq=message.seq,
+            digest=message.digest,
+            replica=self.node_id,
+        )
+        self._broadcast(prepare)
+        self._record_prepare(slot, self.node_id, message.view, message.seq, message.digest)
+
+    def _on_prepare(self, message: PbftPrepare, sender: str) -> None:
+        if message.epoch != self.epoch or message.view != self.view:
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.digest is not None and slot.digest != message.digest:
+            return
+        self._record_prepare(slot, message.replica, message.view, message.seq, message.digest)
+
+    def _record_prepare(
+        self, slot: _SlotState, replica: str, view: int, seq: int, digest: str
+    ) -> None:
+        slot.prepares.add(replica)
+        if slot.prepared or not slot.pre_prepared:
+            return
+        # prepared == pre-prepare plus 2f matching prepares from distinct replicas
+        if len(slot.prepares) >= self._quorum_2f() + 1 or len(self.members) == 1:
+            slot.prepared = True
+            commit = PbftCommit(
+                epoch=self.epoch, view=view, seq=seq, digest=digest, replica=self.node_id
+            )
+            self._broadcast(commit)
+            self._record_commit(slot, self.node_id)
+
+    def _on_commit(self, message: PbftCommit, sender: str) -> None:
+        if message.epoch != self.epoch or message.view != self.view:
+            return
+        slot = self._slot(message.view, message.seq)
+        if slot.digest is not None and slot.digest != message.digest:
+            return
+        self._record_commit(slot, message.replica)
+
+    def _record_commit(self, slot: _SlotState, replica: str) -> None:
+        slot.commits.add(replica)
+        if slot.committed or not slot.prepared:
+            return
+        if len(slot.commits) >= self._quorum_2f1() or len(self.members) == 1:
+            slot.committed = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        """Execute committed slots in sequence order, without gaps."""
+        progressed = True
+        while progressed:
+            progressed = False
+            seq = self.last_executed + 1
+            slot = self._slots.get((self.view, seq))
+            if slot is None or not slot.committed or slot.executed:
+                break
+            slot.executed = True
+            self.last_executed = seq
+            progressed = True
+            operation = slot.operation
+            if operation is not None and operation.op_id not in self._executed_ops:
+                self._executed_ops.add(operation.op_id)
+                self._pending_requests.pop(operation.op_id, None)
+                self._commit(operation)
+        if not self._pending_requests:
+            self._view_change_timer_armed = False
+
+    # -------------------------------------------------------------- view change
+
+    def _arm_view_change_timer(self) -> None:
+        if self._view_change_timer_armed or not self.running:
+            return
+        self._view_change_timer_armed = True
+        timeout = self.config.request_timeout
+        armed_for_view = self.view
+        armed_epoch = self.epoch
+
+        def check() -> None:
+            self._view_change_timer_armed = False
+            if not self.running or self.epoch != armed_epoch:
+                return
+            if not self._pending_requests:
+                return
+            if self.view == armed_for_view:
+                self._start_view_change()
+            # Keep the timer running until the pending requests execute, so
+            # repeated faulty primaries trigger successive view changes.
+            self._arm_view_change_timer()
+
+        self.sim.schedule(timeout, check, tag=f"{self.node_id}:pbft-vc")
+
+    def _start_view_change(self) -> None:
+        new_view = self.view + 1
+        prepared = tuple(
+            (seq, slot.digest or "")
+            for (view, seq), slot in sorted(self._slots.items())
+            if slot.prepared and view == self.view
+        )
+        message = PbftViewChange(
+            epoch=self.epoch, new_view=new_view, replica=self.node_id, prepared=prepared
+        )
+        self.sim.metrics.increment("smr.pbft.view_changes")
+        self._broadcast(message)
+        self._on_view_change(message, self.node_id)
+
+    def _on_view_change(self, message: PbftViewChange, sender: str) -> None:
+        if message.epoch != self.epoch or message.new_view <= self.view:
+            return
+        votes = self._view_change_votes.setdefault(message.new_view, {})
+        votes[message.replica] = message
+        # Join the view change when another replica started it; this avoids
+        # waiting for our own timeout and gets the new primary its quorum.
+        if self.node_id not in votes:
+            own_prepared = tuple(
+                (seq, slot.digest or "")
+                for (view, seq), slot in sorted(self._slots.items())
+                if slot.prepared and view == self.view
+            )
+            own = PbftViewChange(
+                epoch=self.epoch,
+                new_view=message.new_view,
+                replica=self.node_id,
+                prepared=own_prepared,
+            )
+            votes[self.node_id] = own
+            self._broadcast(own)
+        ordered = sorted(self.members)
+        new_primary = ordered[message.new_view % len(ordered)]
+        if new_primary != self.node_id:
+            return
+        if len(votes) >= self._quorum_2f1() or len(self.members) <= 2:
+            self._emit_new_view(message.new_view)
+
+    def _emit_new_view(self, new_view: int) -> None:
+        # Re-propose pending operations (prepared-but-unexecuted and queued).
+        operations: List[Tuple[int, Operation]] = []
+        seq = 0
+        seen: Set[str] = set()
+        for operation in self._pending_requests.values():
+            if operation.op_id in self._executed_ops or operation.op_id in seen:
+                continue
+            seen.add(operation.op_id)
+            operations.append((seq, operation))
+            seq += 1
+        new_view_message = PbftNewView(
+            epoch=self.epoch, new_view=new_view, operations=tuple(operations)
+        )
+        self._broadcast(new_view_message)
+        self._on_new_view(new_view_message, self.node_id)
+
+    def _on_new_view(self, message: PbftNewView, sender: str) -> None:
+        if message.epoch != self.epoch or message.new_view <= self.view:
+            return
+        ordered = sorted(self.members)
+        expected_primary = ordered[message.new_view % len(ordered)]
+        if sender not in (expected_primary, self.node_id):
+            return
+        self.view = message.new_view
+        self.next_seq = 0
+        self.last_executed = -1
+        self._slots = {
+            key: slot for key, slot in self._slots.items() if key[0] >= self.view
+        }
+        self.sim.metrics.increment("smr.pbft.new_views")
+        if self.is_primary():
+            for _, operation in message.operations:
+                self._assign_and_preprepare(operation)
+        if self._pending_requests:
+            self._arm_view_change_timer()
+
+
+__all__ = [
+    "PbftReplica",
+    "PbftRequest",
+    "PbftPrePrepare",
+    "PbftPrepare",
+    "PbftCommit",
+    "PbftViewChange",
+    "PbftNewView",
+]

@@ -1,0 +1,28 @@
+"""Workload drivers used by the evaluation harness.
+
+* :mod:`repro.workloads.growth` -- grows a system by joining nodes at a rate
+  proportional to the current size (Figures 6 and 13).
+* :mod:`repro.workloads.churn` -- continuous churn (leave + re-join) and the
+  search for the maximal sustainable churn rate (Figure 7).
+* :mod:`repro.workloads.broadcasts` -- broadcast workloads with small payloads
+  (Figure 8).
+* :mod:`repro.workloads.byzantine` -- helpers for selecting and configuring
+  Byzantine nodes.
+"""
+
+from repro.workloads.growth import GrowthConfig, GrowthWorkload
+from repro.workloads.churn import ChurnConfig, ChurnResult, ChurnWorkload, max_sustainable_churn
+from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
+from repro.workloads.byzantine import select_byzantine
+
+__all__ = [
+    "GrowthConfig",
+    "GrowthWorkload",
+    "ChurnConfig",
+    "ChurnResult",
+    "ChurnWorkload",
+    "max_sustainable_churn",
+    "BroadcastWorkload",
+    "BroadcastWorkloadConfig",
+    "select_byzantine",
+]

@@ -1,0 +1,71 @@
+"""Broadcast workloads with small payloads (used for Figure 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.cluster import AtumCluster
+
+
+@dataclass
+class BroadcastWorkloadConfig:
+    """Configuration of a broadcast workload.
+
+    Attributes:
+        count: Number of broadcasts to send (800 in the paper; benchmarks use
+            fewer for speed, the CDF shape is unchanged).
+        min_bytes / max_bytes: Payload size range (10 to 100 bytes, comparable
+            to Twitter messages).
+        interval: Time between consecutive broadcasts.
+        settle_time: Time to keep running after the last broadcast.
+    """
+
+    count: int = 50
+    min_bytes: int = 10
+    max_bytes: int = 100
+    interval: float = 0.5
+    settle_time: float = 60.0
+
+
+class BroadcastWorkload:
+    """Sends broadcasts from random correct origins and collects latencies."""
+
+    def __init__(self, cluster: AtumCluster, config: Optional[BroadcastWorkloadConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config or BroadcastWorkloadConfig()
+        self._rng = cluster.sim.rng.stream("broadcast-workload")
+        self.broadcasts: List[Tuple[str, float]] = []  # (bcast_id, started_at)
+
+    def run(self) -> List[float]:
+        """Issue the workload and return all per-node delivery latencies."""
+        origins = self.cluster.correct_member_addresses()
+        if not origins:
+            raise RuntimeError("the cluster has no correct members to broadcast from")
+        for index in range(self.config.count):
+            origin = origins[self._rng.randrange(len(origins))]
+            size = self._rng.randint(self.config.min_bytes, self.config.max_bytes)
+            delay = index * self.config.interval
+
+            def send(origin=origin, size=size) -> None:
+                started = self.cluster.sim.now
+                bcast_id = self.cluster.broadcast(origin, {"seq": len(self.broadcasts)}, size_bytes=size)
+                self.broadcasts.append((bcast_id, started))
+
+            self.cluster.sim.schedule(delay, send, tag="broadcast-workload")
+        horizon = self.config.count * self.config.interval + self.config.settle_time
+        self.cluster.run(until=self.cluster.sim.now + horizon)
+        return self.latencies()
+
+    def latencies(self) -> List[float]:
+        """All delivery latencies across all broadcasts sent so far."""
+        samples: List[float] = []
+        for bcast_id, started_at in self.broadcasts:
+            samples.extend(self.cluster.delivery_latencies(bcast_id, started_at))
+        return samples
+
+    def delivery_fractions(self) -> Dict[str, float]:
+        return {bcast_id: self.cluster.delivery_fraction(bcast_id) for bcast_id, _ in self.broadcasts}
+
+
+__all__ = ["BroadcastWorkload", "BroadcastWorkloadConfig"]

@@ -1,0 +1,45 @@
+"""Byzantine fault injection helpers.
+
+The paper injects faults by modifying node behaviour (section 6.1.3): in the
+synchronous deployment, Byzantine nodes keep sending heartbeats (so they are
+not evicted) but otherwise do not participate, and periodically propose to
+evict correct nodes; in the asynchronous deployment faulty nodes simply stay
+quiet.  Because a Byzantine minority can neither forge group messages nor
+reach agreement quorums, both behaviours reduce to "the faulty node
+contributes nothing" from the perspective of correct nodes -- which is what
+the ``silent`` behaviour of :class:`repro.core.node.AtumNode` implements.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+
+def select_byzantine(
+    addresses: Sequence[str],
+    count: Optional[int] = None,
+    fraction: Optional[float] = None,
+    rng: Optional[random.Random] = None,
+) -> List[str]:
+    """Select a random subset of addresses to behave Byzantine.
+
+    Exactly one of ``count`` or ``fraction`` must be given.  The selection is
+    uniform, matching the paper's random placement of faulty nodes (random
+    walk shuffling is precisely what makes this the worst an adversary can do
+    without a join-leave attack).
+    """
+    if (count is None) == (fraction is None):
+        raise ValueError("specify exactly one of count or fraction")
+    if fraction is not None:
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        count = int(round(fraction * len(addresses)))
+    assert count is not None
+    if count > len(addresses):
+        raise ValueError("cannot select more Byzantine nodes than addresses")
+    rng = rng or random.Random(0)
+    return sorted(rng.sample(list(addresses), count))
+
+
+__all__ = ["select_byzantine"]

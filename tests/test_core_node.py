@@ -1,0 +1,174 @@
+"""Unit tests for AtumNode internals: routing, gossip targets, forward policies."""
+
+import pytest
+
+from repro.core import AtumCluster, AtumParameters, SmrKind
+from repro.core.node import BroadcastMessage, DirectMessage, SmrEnvelope, _stable_hash
+
+
+def small_params(**overrides):
+    base = dict(hc=3, rwl=5, gmax=6, gmin=3, smr_kind=SmrKind.SYNC, round_duration=0.5,
+                expected_system_size=30)
+    base.update(overrides)
+    return AtumParameters(**base)
+
+
+def built_cluster(n=24, seed=0, **cluster_kwargs):
+    cluster = AtumCluster(small_params(), seed=seed, **cluster_kwargs)
+    cluster.build_static([f"n{i}" for i in range(n)])
+    return cluster
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert _stable_hash("abc") == _stable_hash("abc")
+
+    def test_differs_for_different_inputs(self):
+        assert _stable_hash("abc") != _stable_hash("abd")
+
+
+class TestRouting:
+    def test_smr_envelope_for_wrong_group_is_ignored(self):
+        cluster = built_cluster()
+        node = cluster.node("n0")
+        decided_before = len(node.replica.decided_log)
+        node.on_message(SmrEnvelope(group_id="not-my-group", payload="junk"), "n1")
+        assert len(node.replica.decided_log) == decided_before
+
+    def test_direct_message_dispatched_to_registered_handler(self):
+        cluster = built_cluster()
+        received = []
+        cluster.node("n1").register_direct_handler("ping", lambda payload, sender: received.append((payload, sender)))
+        cluster.node("n0").send_direct("n1", "ping", {"x": 1})
+        cluster.run(until=5.0)
+        assert received == [({"x": 1}, "n0")]
+
+    def test_direct_message_without_handler_is_dropped(self):
+        cluster = built_cluster()
+        cluster.node("n0").send_direct("n1", "unknown-kind", "payload")
+        cluster.run(until=5.0)  # must not raise
+
+    def test_mute_node_ignores_everything(self):
+        cluster = built_cluster()
+        received = []
+        cluster.node("n2").register_direct_handler("ping", lambda p, s: received.append(p))
+        cluster.node("n2").byzantine = "mute"
+        cluster.node("n0").send_direct("n2", "ping", "x")
+        cluster.run(until=5.0)
+        assert received == []
+
+    def test_silent_node_does_not_deliver_broadcasts(self):
+        cluster = built_cluster(seed=2)
+        cluster.node("n5").byzantine = "silent"
+        bcast = cluster.broadcast("n0", "msg")
+        cluster.run(until=60.0)
+        assert not cluster.node("n5").has_delivered(bcast)
+
+
+class TestGossipTargets:
+    def test_flood_targets_are_unique_neighbor_groups(self):
+        cluster = built_cluster()
+        node = cluster.node("n0")
+        message = BroadcastMessage("b1", "n0", "x", 10, 0.0)
+        targets = node._gossip_targets(message, exclude="")
+        own = node.group_id()
+        assert own not in targets
+        assert len(targets) == len(set(targets))
+        neighbor_ids = {g for pair in cluster.cycle_neighbor_ids(own) for g in pair}
+        assert set(targets) <= neighbor_ids
+
+    def test_single_policy_selects_fewer_targets_than_flood(self):
+        cluster = built_cluster(n=40)
+        node = cluster.node("n0")
+        message = BroadcastMessage("b2", "n0", "x", 10, 0.0)
+        node.forward_policy = "flood"
+        flood = node._gossip_targets(message, exclude="")
+        node.forward_policy = "single"
+        single = node._gossip_targets(message, exclude="")
+        assert len(single) <= len(flood)
+        assert len(single) >= 1
+
+    def test_targets_deterministic_across_members_of_a_group(self):
+        cluster = built_cluster(n=40)
+        node_a = cluster.node("n0")
+        group = node_a.group_id()
+        peers = [cluster.node(m) for m in cluster.view_of_group(group).members]
+        message = BroadcastMessage("b3", "n0", "x", 10, 0.0)
+        for policy in ("flood", "single", "double", "random"):
+            target_sets = []
+            for peer in peers:
+                peer.forward_policy = policy
+                target_sets.append(tuple(peer._gossip_targets(message, exclude="")))
+            assert len(set(target_sets)) == 1
+
+    def test_custom_forward_fn_filters_targets(self):
+        cluster = built_cluster(n=40)
+        node = cluster.node("n0")
+        message = BroadcastMessage("b4", "n0", "x", 10, 0.0)
+        node.forward_fn = lambda m, gid: False
+        assert node._gossip_targets(message, exclude="") == []
+
+    def test_unknown_policy_raises(self):
+        cluster = built_cluster()
+        node = cluster.node("n0")
+        node.forward_policy = "bogus"
+        with pytest.raises(ValueError):
+            node._gossip_targets(BroadcastMessage("b5", "n0", "x", 10, 0.0), exclude="")
+
+    def test_exclude_source_group(self):
+        cluster = built_cluster(n=40)
+        node = cluster.node("n0")
+        message = BroadcastMessage("b6", "n0", "x", 10, 0.0)
+        all_targets = node._gossip_targets(message, exclude="")
+        if all_targets:
+            excluded = all_targets[0]
+            remaining = node._gossip_targets(message, exclude=excluded)
+            assert excluded not in remaining
+
+
+class TestMembershipLifecycle:
+    def test_clear_membership_stops_replica(self):
+        cluster = built_cluster()
+        node = cluster.node("n0")
+        assert node.replica is not None
+        node.clear_membership()
+        assert node.replica is None
+        assert not node.is_member
+
+    def test_install_view_reconfigures_existing_replica(self):
+        cluster = built_cluster()
+        node = cluster.node("n0")
+        view = node.vgroup_view
+        new_view = view.add("phantom-member")
+        node.install_view(new_view)
+        assert "phantom-member" in node.replica.members
+
+    def test_broadcast_counter_metric(self):
+        cluster = built_cluster()
+        cluster.broadcast("n0", "a")
+        cluster.broadcast("n1", "b")
+        assert cluster.sim.metrics.counter("atum.broadcasts_started") == 2
+
+    def test_delivered_order_tracks_delivery_sequence(self):
+        cluster = built_cluster(seed=5)
+        first = cluster.broadcast("n0", "first")
+        cluster.run(until=30.0)
+        second = cluster.broadcast("n1", "second")
+        cluster.run(until=60.0)
+        order = cluster.node("n3").delivered_order
+        assert order.index(first) < order.index(second)
+
+
+class TestAsyncNodeBehaviour:
+    def test_async_forwards_without_round_alignment(self):
+        params = small_params(smr_kind=SmrKind.ASYNC)
+        cluster = AtumCluster(params, seed=3)
+        cluster.build_static([f"n{i}" for i in range(24)])
+        start = cluster.sim.now
+        bcast = cluster.broadcast("n0", "fast")
+        cluster.run(until=60.0)
+        latencies = cluster.delivery_latencies(bcast, start)
+        assert cluster.delivery_fraction(bcast) == 1.0
+        # No synchronous rounds: the whole dissemination completes well below
+        # a single Sync round budget.
+        assert max(latencies) < 5.0

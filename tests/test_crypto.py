@@ -1,0 +1,166 @@
+"""Unit tests for the crypto substrate."""
+
+import pytest
+
+from repro.crypto import (
+    CertificateChain,
+    CryptoCostModel,
+    KeyRegistry,
+    SignatureError,
+    digest_bytes,
+    digest_object,
+)
+from repro.crypto.certificates import make_certificate
+
+
+class TestDigests:
+    def test_digest_bytes_deterministic(self):
+        assert digest_bytes(b"abc") == digest_bytes(b"abc")
+        assert digest_bytes(b"abc") != digest_bytes(b"abd")
+
+    def test_digest_object_is_order_insensitive_for_dicts(self):
+        assert digest_object({"a": 1, "b": 2}) == digest_object({"b": 2, "a": 1})
+
+    def test_digest_object_differs_for_different_content(self):
+        assert digest_object({"a": 1}) != digest_object({"a": 2})
+
+    def test_digest_handles_nested_structures(self):
+        obj = {"list": [1, 2, {"x": (3, 4)}], "set": {"b", "a"}, "bytes": b"\x00\x01"}
+        assert isinstance(digest_object(obj), str)
+        assert digest_object(obj) == digest_object(obj)
+
+    def test_digest_dataclass(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert digest_object(Point(1, 2)) == digest_object(Point(1, 2))
+        assert digest_object(Point(1, 2)) != digest_object(Point(2, 1))
+
+
+class TestSignatures:
+    def test_sign_and_verify(self):
+        registry = KeyRegistry()
+        signature = registry.sign("alice", {"msg": "hello"})
+        assert registry.verify(signature, {"msg": "hello"})
+
+    def test_verify_fails_on_tampered_content(self):
+        registry = KeyRegistry()
+        signature = registry.sign("alice", {"msg": "hello"})
+        assert not registry.verify(signature, {"msg": "bye"})
+
+    def test_verify_fails_for_unknown_signer(self):
+        registry_a = KeyRegistry("domain-a")
+        registry_b = KeyRegistry("domain-b")
+        signature = registry_a.sign("alice", "payload")
+        assert not registry_b.verify(signature, "payload")
+
+    def test_forged_signer_name_rejected(self):
+        registry = KeyRegistry()
+        registry.generate("alice")
+        registry.generate("mallory")
+        # Mallory signs but claims to be alice by swapping the signer field.
+        mallory_signature = registry.sign("mallory", "payload")
+        forged = type(mallory_signature)(
+            signer="alice", digest=mallory_signature.digest, mac=mallory_signature.mac
+        )
+        assert not registry.verify(forged, "payload")
+
+    def test_verify_or_raise(self):
+        registry = KeyRegistry()
+        signature = registry.sign("alice", "x")
+        registry.verify_or_raise(signature, "x")
+        with pytest.raises(SignatureError):
+            registry.verify_or_raise(signature, "y")
+
+    def test_pairwise_mac_differs_by_peer(self):
+        registry = KeyRegistry()
+        assert registry.mac("alice", "bob", "m") != registry.mac("alice", "carol", "m")
+
+
+class TestCertificateChains:
+    def _chain(self, registry, hops, quorum_per_hop=3, walk_id="walk-1"):
+        chain = CertificateChain(walk_id=walk_id)
+        previous = "G0"
+        for hop in range(hops):
+            issuer = previous
+            next_hop = f"G{hop + 1}"
+            members = [f"{issuer}-member-{i}" for i in range(quorum_per_hop + 1)]
+            for member in members:
+                registry.generate(member)
+            chain.append(
+                make_certificate(
+                    registry,
+                    walk_id=walk_id,
+                    hop=hop,
+                    issuer=issuer,
+                    issuer_members=members,
+                    next_hop=next_hop,
+                    signers=members[:quorum_per_hop],
+                )
+            )
+            previous = next_hop
+        return chain
+
+    def test_valid_chain_verifies(self):
+        registry = KeyRegistry()
+        chain = self._chain(registry, hops=5)
+        assert chain.verify(registry, origin_group="G0")
+        assert chain.selected_group == "G5"
+
+    def test_chain_with_broken_linkage_fails(self):
+        registry = KeyRegistry()
+        chain = self._chain(registry, hops=3)
+        # Remove the middle certificate: linkage broken.
+        del chain.certificates[1]
+        assert not chain.verify(registry, origin_group="G0")
+
+    def test_chain_without_majority_fails(self):
+        registry = KeyRegistry()
+        chain = CertificateChain(walk_id="w")
+        members = ["m0", "m1", "m2", "m3"]
+        for member in members:
+            registry.generate(member)
+        chain.append(
+            make_certificate(
+                registry,
+                walk_id="w",
+                hop=0,
+                issuer="G0",
+                issuer_members=members,
+                next_hop="G1",
+                signers=members[:2],  # only 2 of 4: not a majority
+            )
+        )
+        assert not chain.verify(registry, origin_group="G0")
+
+    def test_chain_size_grows_linearly(self):
+        registry = KeyRegistry()
+        short = self._chain(registry, hops=2, walk_id="short")
+        long = self._chain(registry, hops=10, walk_id="long")
+        assert long.size_bytes() == 5 * short.size_bytes()
+
+    def test_empty_chain_selected_group_raises(self):
+        with pytest.raises(ValueError):
+            CertificateChain(walk_id="w").selected_group
+
+
+class TestCostModel:
+    def test_hash_cost_scales_with_size(self):
+        model = CryptoCostModel()
+        assert model.hash_cost(2048) == pytest.approx(2 * model.hash_cost(1024))
+
+    def test_hash_cost_parallelism(self):
+        model = CryptoCostModel()
+        assert model.hash_cost(1 << 20, threads=4) == pytest.approx(
+            model.hash_cost(1 << 20) / 4
+        )
+
+    def test_certificate_chain_cost(self):
+        model = CryptoCostModel()
+        assert model.certificate_chain_verify_cost(10, 3) == pytest.approx(
+            model.verify_cost(30)
+        )

@@ -1,0 +1,248 @@
+"""Tests for the group layer: vgroup views, group messages, heartbeats, cost model."""
+
+import pytest
+
+from repro.crypto.keys import KeyRegistry
+from repro.group import (
+    GroupCostModel,
+    GroupMessenger,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    NodeBinding,
+    VGroupView,
+    majority_threshold,
+)
+from repro.group.heartbeat import Heartbeat
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.sim.actor import Actor
+
+
+class TestVGroupView:
+    def test_create_sorts_members(self):
+        view = VGroupView.create("g1", ["c", "a", "b"])
+        assert view.members == ("a", "b", "c")
+        assert view.size == 3
+
+    def test_majority(self):
+        assert VGroupView.create("g", ["a"]).majority() == 1
+        assert VGroupView.create("g", ["a", "b"]).majority() == 2
+        assert VGroupView.create("g", ["a", "b", "c"]).majority() == 2
+        assert VGroupView.create("g", list("abcdefg")).majority() == 4
+
+    @pytest.mark.parametrize("size,expected", [(1, 1), (2, 2), (3, 2), (4, 3), (7, 4), (14, 8)])
+    def test_majority_threshold(self, size, expected):
+        assert majority_threshold(size) == expected
+
+    def test_add_and_remove_bump_epoch(self):
+        view = VGroupView.create("g", ["a", "b"])
+        grown = view.add("c")
+        assert grown.epoch == view.epoch + 1
+        assert grown.contains("c")
+        shrunk = grown.remove("a")
+        assert shrunk.epoch == grown.epoch + 1
+        assert not shrunk.contains("a")
+
+    def test_add_existing_is_noop(self):
+        view = VGroupView.create("g", ["a"])
+        assert view.add("a") is view
+
+    def test_remove_absent_is_noop(self):
+        view = VGroupView.create("g", ["a"])
+        assert view.remove("z") is view
+
+    def test_iteration_and_len(self):
+        view = VGroupView.create("g", ["b", "a"])
+        assert list(view) == ["a", "b"]
+        assert len(view) == 2
+
+
+class _MessengerHost(Actor):
+    """Node actor exposing only a GroupMessenger, for isolated testing."""
+
+    def __init__(self, sim, address, network, own_view_fn):
+        super().__init__(sim, address)
+        self.accepted = []
+        self.messenger = GroupMessenger(
+            binding=NodeBinding(address=address, network=network, sim=sim),
+            own_view_fn=own_view_fn,
+            on_accept=lambda kind, payload, src, gm: self.accepted.append(
+                (kind, payload, src, gm)
+            ),
+        )
+
+    def on_message(self, payload, sender):
+        self.messenger.handle(payload, sender)
+
+
+def _make_two_groups(sim, network, size_a=4, size_b=4, use_digest=True):
+    group_a = VGroupView.create("A", [f"a{i}" for i in range(size_a)])
+    group_b = VGroupView.create("B", [f"b{i}" for i in range(size_b)])
+    hosts = {}
+    for address in list(group_a.members) + list(group_b.members):
+        own = group_a if address.startswith("a") else group_b
+        host = _MessengerHost(sim, address, network, lambda v=own: v)
+        host.messenger.use_digest_optimization = use_digest
+        hosts[address] = host
+        network.register(host)
+    return group_a, group_b, hosts
+
+
+class TestGroupMessages:
+    def test_accepted_after_majority_of_senders(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        group_a, group_b, hosts = _make_two_groups(sim, network)
+        # All members of A send their share of the same group message.
+        for sender in group_a.members:
+            hosts[sender].messenger.send(group_b, "gossip", {"x": 1}, gm_id="gm-1")
+        sim.run()
+        for receiver in group_b.members:
+            assert len(hosts[receiver].accepted) == 1
+            kind, payload, source, gm_id = hosts[receiver].accepted[0]
+            assert kind == "gossip" and payload == {"x": 1} and source == "A"
+
+    def test_not_accepted_below_majority(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        group_a, group_b, hosts = _make_two_groups(sim, network, size_a=5)
+        # Only 2 of 5 members send: below the majority of 3.
+        for sender in list(group_a.members)[:2]:
+            hosts[sender].messenger.send(group_b, "gossip", "payload", gm_id="gm-2")
+        sim.run()
+        for receiver in group_b.members:
+            assert hosts[receiver].accepted == []
+
+    def test_byzantine_minority_cannot_forge_group_message(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        group_a, group_b, hosts = _make_two_groups(sim, network, size_a=5)
+        # A Byzantine minority (2 of 5) tries to push a forged payload.
+        for sender in list(group_a.members)[:2]:
+            hosts[sender].messenger.send(group_b, "gossip", "forged", gm_id="gm-forged")
+        # The correct majority sends the real payload under a different gm id.
+        for sender in list(group_a.members)[2:]:
+            hosts[sender].messenger.send(group_b, "gossip", "real", gm_id="gm-real")
+        sim.run()
+        for receiver in group_b.members:
+            payloads = [p for _, p, _, _ in hosts[receiver].accepted]
+            assert "forged" not in payloads
+            assert "real" in payloads
+
+    def test_digest_optimization_reduces_bytes(self):
+        def run(with_digest):
+            sim = Simulator()
+            network = Network(sim, latency_model=FixedLatency(0.001))
+            group_a, group_b, hosts = _make_two_groups(
+                sim, network, size_a=6, size_b=6, use_digest=with_digest
+            )
+            for sender in group_a.members:
+                hosts[sender].messenger.send(
+                    group_b, "gossip", {"blob": "x" * 100}, gm_id="gm", payload_bytes=5000
+                )
+            sim.run()
+            delivered = all(len(hosts[r].accepted) == 1 for r in group_b.members)
+            return sim.metrics.counter("net.bytes_sent"), delivered
+
+        bytes_with, ok_with = run(True)
+        bytes_without, ok_without = run(False)
+        assert ok_with and ok_without
+        assert bytes_with < bytes_without
+
+    def test_duplicate_shares_do_not_redeliver(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        group_a, group_b, hosts = _make_two_groups(sim, network)
+        for _ in range(2):
+            for sender in group_a.members:
+                hosts[sender].messenger.send(group_b, "gossip", "x", gm_id="gm-dup")
+        sim.run()
+        for receiver in group_b.members:
+            assert len(hosts[receiver].accepted) == 1
+
+
+class _HeartbeatHost(Actor):
+    def __init__(self, sim, address, network, peers):
+        super().__init__(sim, address)
+        self.suspected = []
+        self.monitor = HeartbeatMonitor(
+            sim=sim,
+            address=address,
+            group_id_fn=lambda: "G",
+            peers_fn=lambda: peers,
+            send_fn=lambda peer, hb: network.send(address, peer, hb, 64),
+            suspect_fn=self.suspected.append,
+            config=HeartbeatConfig(period=1.0, misses_before_eviction=3),
+        )
+
+    def on_message(self, payload, sender):
+        if isinstance(payload, Heartbeat):
+            self.monitor.observe(payload)
+
+
+class TestHeartbeats:
+    def test_responsive_peers_not_suspected(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        peers = ["n0", "n1", "n2"]
+        hosts = {p: _HeartbeatHost(sim, p, network, peers) for p in peers}
+        for host in hosts.values():
+            network.register(host)
+            host.monitor.start()
+        sim.run(until=10.0)
+        assert all(host.suspected == [] for host in hosts.values())
+
+    def test_unresponsive_peer_is_suspected(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        peers = ["n0", "n1", "n2"]
+        hosts = {p: _HeartbeatHost(sim, p, network, peers) for p in peers}
+        for host in hosts.values():
+            network.register(host)
+        # n2 never starts its monitor and never answers: it must be suspected.
+        hosts["n0"].monitor.start()
+        hosts["n1"].monitor.start()
+        sim.run(until=10.0)
+        assert "n2" in hosts["n0"].suspected
+        assert "n2" in hosts["n1"].suspected
+        assert "n1" not in hosts["n0"].suspected
+
+    def test_forget_clears_state(self):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        host = _HeartbeatHost(sim, "n0", network, ["n0", "n1"])
+        network.register(host)
+        host.monitor.start()
+        sim.run(until=5.0)
+        host.monitor.forget("n1")
+        assert "n1" not in host.monitor.last_seen
+
+
+class TestGroupCostModel:
+    def test_sync_agreement_latency_scales_with_group_size(self):
+        model = GroupCostModel(synchronous=True, round_duration=1.0)
+        assert model.agreement_latency(4) < model.agreement_latency(20)
+        # f+1 rounds plus half a round of waiting: g=7 -> f=3 -> 4.5 rounds.
+        assert model.agreement_latency(7) == pytest.approx(4.5)
+
+    def test_async_agreement_much_faster_than_sync(self):
+        sync = GroupCostModel(synchronous=True, round_duration=1.0)
+        asyn = GroupCostModel(synchronous=False, network_latency=0.05)
+        assert asyn.agreement_latency(7) < sync.agreement_latency(7) / 5
+
+    def test_backward_phase_walk_costs_twice_the_forward(self):
+        model = GroupCostModel()
+        backward = model.random_walk_latency(10, 8, backward_phase=True)
+        forward_only = 10 * model.walk_step_latency(8, 8)
+        assert backward == pytest.approx(2 * forward_only)
+
+    def test_certificate_walk_cheaper_than_backward_for_long_walks(self):
+        model = GroupCostModel(synchronous=False, network_latency=0.05)
+        certificates = model.random_walk_latency(12, 8, backward_phase=False)
+        backward = model.random_walk_latency(12, 8, backward_phase=True)
+        assert certificates < backward
+
+    def test_state_transfer_grows_with_cycles(self):
+        model = GroupCostModel()
+        assert model.state_transfer_latency(8, 10) > model.state_transfer_latency(2, 10)

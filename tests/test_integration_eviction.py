@@ -1,0 +1,121 @@
+"""End-to-end tests of the heartbeat/eviction path and cluster fault handling."""
+
+import pytest
+
+from repro.core import AtumCluster, AtumParameters, SmrKind
+from repro.overlay.random_walk import WalkMode
+
+
+def params_with_heartbeats(period=20.0):
+    return AtumParameters(
+        hc=3,
+        rwl=5,
+        gmax=6,
+        gmin=3,
+        smr_kind=SmrKind.SYNC,
+        round_duration=0.5,
+        heartbeat_period=period,
+        expected_system_size=24,
+    )
+
+
+class TestHeartbeatDrivenEviction:
+    def test_crashed_node_is_eventually_evicted(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=1, enable_heartbeats=True)
+        cluster.build_static([f"n{i}" for i in range(18)])
+        assert cluster.system_size == 18
+        cluster.crash("n4")
+        # After several missed heartbeat periods, n4's vgroup peers suspect it
+        # and the eviction (which proceeds like a leave) removes it.
+        cluster.run(until=600.0)
+        assert cluster.system_size == 17
+        assert "n4" not in cluster.engine.node_group
+        assert cluster.sim.metrics.counter("membership.evictions_started") >= 1
+
+    def test_responsive_nodes_are_not_evicted(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=2, enable_heartbeats=True)
+        cluster.build_static([f"n{i}" for i in range(18)])
+        cluster.run(until=400.0)
+        assert cluster.system_size == 18
+        assert cluster.sim.metrics.counter("membership.evictions_started") == 0
+
+    def test_system_still_broadcasts_after_eviction(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=3, enable_heartbeats=True)
+        cluster.build_static([f"n{i}" for i in range(18)])
+        cluster.crash("n7")
+        cluster.run(until=600.0)
+        assert "n7" not in cluster.engine.node_group
+        bcast = cluster.broadcast("n0", "post-eviction")
+        cluster.run(until=cluster.sim.now + 60.0)
+        assert cluster.delivery_fraction(bcast) >= 16 / 17
+
+    def test_eviction_needs_a_majority_of_suspicions(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=4)
+        cluster.build_static([f"n{i}" for i in range(12)])
+        peers = [m for m in cluster.engine.group_of("n5").members if m != "n5"]
+        # A single (possibly Byzantine) suspicion must not evict a correct node.
+        cluster.request_eviction("n5", suspected_by=peers[0])
+        cluster.run_until_membership_quiescent(max_time=300.0)
+        assert cluster.system_size == 12
+        # Once a majority of its vgroup peers report it, the eviction proceeds
+        # exactly once, even if further (duplicate) reports arrive.
+        for suspector in peers:
+            cluster.request_eviction("n5", suspected_by=suspector)
+            cluster.request_eviction("n5", suspected_by=suspector)
+        cluster.run_until_membership_quiescent(max_time=600.0)
+        assert cluster.system_size == 11
+        assert cluster.sim.metrics.counter("membership.evictions_started") == 1
+
+    def test_eviction_request_for_unknown_node_ignored(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=5)
+        cluster.build_static([f"n{i}" for i in range(12)])
+        cluster.request_eviction("ghost", suspected_by="n1")
+        cluster.run(until=60.0)
+        assert cluster.system_size == 12
+
+    def test_byzantine_node_cannot_evict_correct_peers(self):
+        # A crashed/Byzantine node that pretends not to receive heartbeats
+        # (section 6.1.3) cannot push correct nodes out on its own.
+        cluster = AtumCluster(params_with_heartbeats(), seed=7, enable_heartbeats=True)
+        cluster.build_static([f"n{i}" for i in range(18)])
+        victim_group = cluster.engine.group_of("n2")
+        cluster.node("n2").byzantine = "mute"  # pretends not to receive any heartbeat
+        cluster.run(until=400.0)
+        # n2 suspects (and reports) every peer, but a single accuser is not a
+        # majority, so no correct node is evicted.
+        correct = [m for m in victim_group.members if m != "n2"]
+        assert all(member in cluster.engine.node_group for member in correct)
+
+
+class TestWalkModeSelection:
+    def test_sync_uses_backward_phase(self):
+        params = AtumParameters(smr_kind=SmrKind.SYNC)
+        assert params.walk_mode is WalkMode.BACKWARD_PHASE
+        assert params.membership_config().walk_mode is WalkMode.BACKWARD_PHASE
+
+    def test_async_uses_certificates(self):
+        params = AtumParameters(smr_kind=SmrKind.ASYNC)
+        assert params.walk_mode is WalkMode.CERTIFICATES
+        assert params.membership_config().walk_mode is WalkMode.CERTIFICATES
+
+    def test_cost_model_follows_engine_choice(self):
+        sync_cost = AtumParameters(smr_kind=SmrKind.SYNC).cost_model()
+        async_cost = AtumParameters(smr_kind=SmrKind.ASYNC).cost_model()
+        assert sync_cost.synchronous and not async_cost.synchronous
+
+
+class TestRejoinAfterEviction:
+    def test_evicted_node_can_rejoin(self):
+        cluster = AtumCluster(params_with_heartbeats(), seed=6)
+        cluster.build_static([f"n{i}" for i in range(12)])
+        peers = [m for m in cluster.engine.group_of("n3").members if m != "n3"]
+        for suspector in peers:
+            cluster.request_eviction("n3", suspected_by=suspector)
+        cluster.run_until_membership_quiescent(max_time=600.0)
+        assert cluster.system_size == 11
+        # The node recovers and rejoins through a contact node (section 5.1).
+        cluster.node("n3").byzantine = None
+        cluster.join("n3", contact="n0")
+        cluster.run_until_membership_quiescent(max_time=600.0)
+        assert cluster.system_size == 12
+        assert cluster.node("n3").is_member

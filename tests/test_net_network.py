@@ -1,0 +1,187 @@
+"""Unit tests for the network substrate."""
+
+import random
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    LanProfile,
+    LogNormalLatency,
+    Network,
+    NetworkConfig,
+    UniformLatency,
+    WanProfile,
+)
+from repro.net.latency import RegionalLatency, DEFAULT_REGIONS
+from repro.sim import Simulator
+from repro.sim.actor import Actor
+
+
+class Recorder(Actor):
+    """Test actor that records every delivered message with its time."""
+
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.received = []
+
+    def on_message(self, payload, sender):
+        self.received.append((self.sim.now, payload, sender))
+
+
+def make_net(seed=0, latency=None, config=None):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency_model=latency or FixedLatency(0.01), config=config)
+    return sim, network
+
+
+class TestDelivery:
+    def test_basic_delivery_with_fixed_latency(self):
+        sim, network = make_net()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        network.send("a", "b", {"hello": 1}, size_bytes=100)
+        sim.run()
+        assert len(b.received) == 1
+        time, payload, sender = b.received[0]
+        assert payload == {"hello": 1}
+        assert sender == "a"
+        # latency 0.01 plus transfer of (100+64)/8e6 seconds
+        assert time == pytest.approx(0.01 + 164 / 8_000_000)
+
+    def test_unregistered_receiver_drops_message(self):
+        sim, network = make_net()
+        a = Recorder(sim, "a")
+        network.register(a)
+        network.send("a", "ghost", "payload")
+        sim.run()
+        assert sim.metrics.counter("net.messages_undeliverable") == 1
+
+    def test_dead_actor_does_not_receive(self):
+        sim, network = make_net()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        b.shutdown()
+        network.send("a", "b", "payload")
+        sim.run()
+        assert b.received == []
+
+    def test_large_transfer_takes_bandwidth_time(self):
+        sim, network = make_net(config=NetworkConfig(bandwidth_bytes_per_s=1_000_000))
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        network.send("a", "b", "blob", size_bytes=1_000_000)
+        sim.run()
+        delivery_time = b.received[0][0]
+        assert delivery_time >= 1.0  # at least one second of transfer time
+
+    def test_downlink_serialization_of_concurrent_transfers(self):
+        # Two 1 MB messages to the same receiver must be serialized on its
+        # downlink: the second arrives roughly one transfer time later.
+        sim, network = make_net(config=NetworkConfig(bandwidth_bytes_per_s=1_000_000))
+        a, b, c = Recorder(sim, "a"), Recorder(sim, "b"), Recorder(sim, "c")
+        for actor in (a, b, c):
+            network.register(actor)
+        network.send("a", "c", "blob1", size_bytes=1_000_000)
+        network.send("b", "c", "blob2", size_bytes=1_000_000)
+        sim.run()
+        times = sorted(t for t, _, _ in c.received)
+        assert len(times) == 2
+        assert times[1] - times[0] >= 0.9
+
+    def test_loss_probability_drops_messages(self):
+        sim, network = make_net(config=NetworkConfig(loss_probability=1.0))
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        assert network.send("a", "b", "x") is None
+        sim.run()
+        assert b.received == []
+        assert sim.metrics.counter("net.messages_lost") == 1
+
+    def test_partition_blocks_and_heal_restores(self):
+        sim, network = make_net()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        network.partition(["b"])
+        network.send("a", "b", "lost")
+        sim.run()
+        assert b.received == []
+        network.heal(["b"])
+        network.send("a", "b", "found")
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_send_burst_counts_dispatched(self):
+        sim, network = make_net()
+        a, b, c = Recorder(sim, "a"), Recorder(sim, "b"), Recorder(sim, "c")
+        for actor in (a, b, c):
+            network.register(actor)
+        count = network.send_burst("a", [("b", "x", 10), ("c", "y", 10)])
+        assert count == 2
+        sim.run()
+        assert len(b.received) == 1
+        assert len(c.received) == 1
+
+    def test_metrics_track_messages(self):
+        sim, network = make_net()
+        a, b = Recorder(sim, "a"), Recorder(sim, "b")
+        network.register(a)
+        network.register(b)
+        network.send("a", "b", "x", size_bytes=100)
+        sim.run()
+        assert sim.metrics.counter("net.messages_sent") == 1
+        assert sim.metrics.counter("net.messages_delivered") == 1
+        assert sim.metrics.counter("net.bytes_sent") == 100
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        rng = random.Random(0)
+        model = FixedLatency(0.005)
+        assert model.sample(rng, "a", "b") == 0.005
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        model = UniformLatency(low=0.001, high=0.002)
+        for _ in range(100):
+            sample = model.sample(rng, "a", "b")
+            assert 0.001 <= sample <= 0.002
+
+    def test_lognormal_positive_and_floored(self):
+        rng = random.Random(0)
+        model = LogNormalLatency(median=0.001, sigma=0.5, floor=0.0005)
+        samples = [model.sample(rng, "a", "b") for _ in range(200)]
+        assert all(sample >= 0.0005 for sample in samples)
+
+    def test_lan_profile_is_sub_5ms_typically(self):
+        rng = random.Random(0)
+        model = LanProfile()
+        samples = [model.sample(rng, "a", "b") for _ in range(200)]
+        assert sum(samples) / len(samples) < 0.005
+
+    def test_wan_profile_inter_region_slower_than_intra(self):
+        addresses = [f"n{i}" for i in range(16)]
+        model = WanProfile(addresses)
+        rng = random.Random(0)
+        # n0 and n8 share a region (round robin over 8 regions); n0 and n1 differ.
+        intra = [model.sample(rng, "n0", "n8") for _ in range(50)]
+        inter = [model.sample(rng, "n0", "n4") for _ in range(50)]
+        assert sum(intra) / len(intra) < sum(inter) / len(inter)
+
+    def test_wan_assign_round_robin(self):
+        model = WanProfile()
+        regions = [model.assign(f"x{i}") for i in range(len(DEFAULT_REGIONS))]
+        assert len(set(regions)) == len(DEFAULT_REGIONS)
+
+    def test_regional_symmetry(self):
+        model = RegionalLatency(region_of={"a": "eu-west", "b": "ap-sydney"})
+        assert model.base_latency("a", "b") == model.base_latency("b", "a")
+
+    def test_regional_unknown_pair_uses_default(self):
+        model = RegionalLatency(region_of={"a": "mars", "b": "venus"})
+        assert model.base_latency("a", "b") == model.default_inter_region

@@ -1,0 +1,94 @@
+"""Unit tests for metrics primitives."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import Histogram, MetricsRegistry, TimeSeries
+
+
+class TestHistogram:
+    def test_mean_and_extremes(self):
+        histogram = Histogram()
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.record(value)
+        assert histogram.mean == pytest.approx(2.5)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.count == 4
+
+    def test_percentiles(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.record(float(value))
+        assert histogram.percentile(50) == pytest.approx(50.0)
+        assert histogram.percentile(99) == pytest.approx(99.0)
+        assert histogram.percentile(100) == pytest.approx(100.0)
+
+    def test_percentile_out_of_range(self):
+        histogram = Histogram()
+        histogram.record(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(150)
+
+    def test_empty_histogram_returns_nan(self):
+        histogram = Histogram()
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.percentile(50))
+
+    def test_cdf_is_monotone_and_ends_at_one(self):
+        histogram = Histogram()
+        for value in [3.0, 1.0, 2.0]:
+            histogram.record(value)
+        cdf = histogram.cdf()
+        values = [v for v, _ in cdf]
+        fractions = [f for _, f in cdf]
+        assert values == sorted(values)
+        assert fractions[-1] == pytest.approx(1.0)
+        assert all(f2 >= f1 for f1, f2 in zip(fractions, fractions[1:]))
+
+
+class TestTimeSeries:
+    def test_value_at_step_function(self):
+        series = TimeSeries()
+        series.record(0.0, 1.0)
+        series.record(10.0, 2.0)
+        assert series.value_at(5.0) == 1.0
+        assert series.value_at(10.0) == 2.0
+
+    def test_value_before_first_sample_raises(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.value_at(1.0)
+
+    def test_last(self):
+        series = TimeSeries()
+        with pytest.raises(ValueError):
+            series.last()
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.last() == (2.0, 20.0)
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.increment("x")
+        metrics.increment("x", 2.5)
+        assert metrics.counter("x") == pytest.approx(3.5)
+        assert metrics.counter("missing") == 0.0
+
+    def test_observe_and_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.observe("lat", 1.0)
+        metrics.observe("lat", 3.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["lat.mean"] == pytest.approx(2.0)
+        assert snapshot["lat.count"] == 2.0
+
+    def test_merge_histograms(self):
+        h1 = Histogram(samples=[1.0, 2.0])
+        h2 = Histogram(samples=[3.0])
+        merged = MetricsRegistry.merge_histograms([h1, h2])
+        assert merged.count == 3

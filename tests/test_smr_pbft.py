@@ -1,0 +1,99 @@
+"""Tests for the asynchronous (PBFT-style) SMR engine."""
+
+import pytest
+
+from repro.net.latency import LogNormalLatency
+from repro.smr import PbftReplica, ReplicaGroupHarness, SmrConfig
+from repro.smr.base import async_fault_threshold
+
+
+class TestFaultThreshold:
+    @pytest.mark.parametrize(
+        "size,expected", [(1, 0), (3, 0), (4, 1), (7, 2), (10, 3), (13, 4)]
+    )
+    def test_async_threshold(self, size, expected):
+        assert async_fault_threshold(size) == expected
+
+
+def make_harness(group_size, silent=(), seed=0, timeout=2.0):
+    return ReplicaGroupHarness(
+        group_size=group_size,
+        replica_class=PbftReplica,
+        config=SmrConfig(request_timeout=timeout),
+        seed=seed,
+        latency_model=LogNormalLatency(median=0.02, sigma=0.3),
+        silent_byzantine=silent,
+    )
+
+
+class TestPbftAgreement:
+    def test_single_replica_group_decides(self):
+        harness = make_harness(1)
+        op = harness.propose("replica-0", "noop", 1)
+        harness.run(until=5.0)
+        assert harness.all_correct_decided(op.op_id)
+
+    def test_four_replicas_decide_primary_proposal(self):
+        harness = make_harness(4)
+        op = harness.propose("replica-0", "broadcast", "hello")
+        harness.run(until=10.0)
+        assert harness.all_correct_decided(op.op_id)
+
+    def test_non_primary_proposal_is_forwarded(self):
+        harness = make_harness(4)
+        op = harness.propose("replica-2", "broadcast", "from-backup")
+        harness.run(until=10.0)
+        assert harness.all_correct_decided(op.op_id)
+
+    def test_latency_is_sub_second_on_lan_like_network(self):
+        harness = make_harness(7)
+        op = harness.propose("replica-0", "broadcast", "payload")
+        start = harness.sim.now
+        harness.run(until=10.0)
+        assert harness.all_correct_decided(op.op_id)
+        assert harness.decision_latency(op.op_id, proposed_at=start) < 1.0
+
+    def test_many_operations_same_log_order(self):
+        harness = make_harness(4)
+        for index in range(5):
+            harness.propose("replica-1", "op", index, op_id=f"op-{index}")
+        harness.run(until=30.0)
+        logs = harness.decided_logs()
+        assert all(log == logs[0] for log in logs)
+        assert set(logs[0]) == {f"op-{i}" for i in range(5)}
+
+    def test_tolerates_silent_byzantine_below_threshold(self):
+        # 7 replicas tolerate f = 2 silent Byzantine nodes.
+        harness = make_harness(7, silent=("replica-5", "replica-6"))
+        op = harness.propose("replica-0", "broadcast", "x")
+        harness.run(until=20.0)
+        assert harness.all_correct_decided(op.op_id)
+
+    def test_view_change_when_primary_is_silent(self):
+        # The primary of view 0 is the smallest address (replica-0).  Making it
+        # silent forces the backups to elect a new primary via view change.
+        harness = make_harness(4, silent=("replica-0",), timeout=1.0)
+        op = harness.propose("replica-1", "broadcast", "needs-view-change")
+        harness.run(until=60.0)
+        assert harness.all_correct_decided(op.op_id)
+        assert harness.sim.metrics.counter("smr.pbft.view_changes") > 0
+
+    def test_reconfigure_installs_new_epoch(self):
+        harness = make_harness(4)
+        op = harness.propose("replica-0", "broadcast", "before")
+        harness.run(until=10.0)
+        assert harness.all_correct_decided(op.op_id)
+        for actor in harness.actors.values():
+            assert actor.replica.epoch == 0
+            actor.replica.reconfigure(harness.addresses)
+            assert actor.replica.epoch == 1
+
+    def test_duplicate_proposal_executes_once(self):
+        harness = make_harness(4)
+        harness.propose("replica-0", "op", "x", op_id="dup")
+        harness.run(until=10.0)
+        harness.propose("replica-0", "op", "x", op_id="dup")
+        harness.run(until=20.0)
+        for actor in harness.correct_actors():
+            ids = [op.op_id for op in actor.decided]
+            assert ids.count("dup") == 1

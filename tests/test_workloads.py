@@ -1,0 +1,172 @@
+"""Tests for the workload drivers (growth, churn, broadcasts, Byzantine selection)."""
+
+import random
+
+import pytest
+
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters
+from repro.group.cost import GroupCostModel
+from repro.overlay.membership import MembershipConfig, MembershipEngine
+from repro.sim import Simulator
+from repro.workloads import (
+    BroadcastWorkload,
+    BroadcastWorkloadConfig,
+    ChurnConfig,
+    ChurnWorkload,
+    GrowthConfig,
+    GrowthWorkload,
+    max_sustainable_churn,
+    select_byzantine,
+)
+
+
+def make_engine(seed=0, synchronous=True, size=0):
+    sim = Simulator(seed=seed)
+    config = MembershipConfig(hc=3, rwl=6, gmax=8, gmin=4)
+    engine = MembershipEngine(sim, config, GroupCostModel(synchronous=synchronous, round_duration=1.0))
+    if size:
+        engine.build_static([f"n{i}" for i in range(size)])
+    return engine
+
+
+class TestGrowthWorkload:
+    def test_reaches_target_size(self):
+        engine = make_engine()
+        workload = GrowthWorkload(engine, GrowthConfig(target_size=60, join_fraction_per_minute=0.2,
+                                                       provisioning_delay=5.0, max_duration=20_000))
+        series = workload.run()
+        assert engine.system_size == 60
+        assert series.values()[-1] == 60
+        engine.validate()
+
+    def test_growth_is_superlinear(self):
+        # Because the join rate is proportional to the current size, the second
+        # half of the growth takes less time than the first half.
+        engine = make_engine(seed=1)
+        workload = GrowthWorkload(engine, GrowthConfig(target_size=120, join_fraction_per_minute=0.2,
+                                                       provisioning_delay=5.0, max_duration=40_000))
+        workload.run()
+        quarter = workload.time_to_reach(30)
+        half = workload.time_to_reach(60)
+        full = workload.time_to_reach(120)
+        assert quarter is not None and half is not None and full is not None
+        assert (full - half) < (half - quarter) * 1.5
+
+    def test_higher_join_rate_lowers_exchange_completion(self):
+        def completion(rate):
+            engine = make_engine(seed=2)
+            workload = GrowthWorkload(
+                engine,
+                GrowthConfig(target_size=100, join_fraction_per_minute=rate,
+                             provisioning_delay=2.0, max_duration=60_000),
+            )
+            workload.run()
+            return workload.exchange_completion_rate()
+
+        slow = completion(0.08)
+        fast = completion(0.40)
+        # Figure 13: faster growth suppresses more exchanges.
+        assert fast <= slow
+
+    def test_time_to_reach_unreached_size_is_none(self):
+        engine = make_engine()
+        workload = GrowthWorkload(engine, GrowthConfig(target_size=20, join_fraction_per_minute=0.2,
+                                                       provisioning_delay=1.0))
+        workload.run()
+        assert workload.time_to_reach(500) is None
+
+
+class TestChurnWorkload:
+    def test_low_churn_is_sustained(self):
+        engine = make_engine(seed=3, size=60)
+        workload = ChurnWorkload(engine, ChurnConfig(rate_per_minute=5, duration=180.0))
+        result = workload.run()
+        assert result.sustained
+        assert result.completed_joins > 0
+        engine.validate()
+
+    def test_extreme_churn_is_not_sustained(self):
+        engine = make_engine(seed=4, size=60)
+        workload = ChurnWorkload(engine, ChurnConfig(rate_per_minute=2000, duration=120.0))
+        result = workload.run()
+        assert not result.sustained
+
+    def test_system_size_roughly_preserved(self):
+        engine = make_engine(seed=5, size=50)
+        workload = ChurnWorkload(engine, ChurnConfig(rate_per_minute=10, duration=120.0))
+        workload.run()
+        assert 40 <= engine.system_size <= 60
+
+    def test_max_sustainable_churn_returns_highest_sustained_rate(self):
+        def factory():
+            return make_engine(seed=6, size=50)
+
+        best = max_sustainable_churn(factory, rates_per_minute=[2, 8, 4000], duration=120.0)
+        assert best in (2, 8)
+
+    def test_async_sustains_more_churn_than_sync(self):
+        def best_for(synchronous):
+            def factory():
+                return make_engine(seed=7, synchronous=synchronous, size=50)
+
+            return max_sustainable_churn(factory, rates_per_minute=[5, 20, 60, 120], duration=120.0)
+
+        assert best_for(False) >= best_for(True)
+
+
+class TestBroadcastWorkload:
+    def _cluster(self):
+        params = AtumParameters(hc=3, rwl=5, gmax=6, gmin=3, round_duration=0.5)
+        cluster = AtumCluster(params, seed=8)
+        cluster.build_static([f"n{i}" for i in range(24)])
+        return cluster
+
+    def test_all_broadcasts_fully_delivered(self):
+        cluster = self._cluster()
+        workload = BroadcastWorkload(cluster, BroadcastWorkloadConfig(count=5, interval=0.2, settle_time=30.0))
+        latencies = workload.run()
+        assert len(latencies) == 5 * 24
+        assert all(fraction == 1.0 for fraction in workload.delivery_fractions().values())
+
+    def test_latencies_positive_and_bounded(self):
+        cluster = self._cluster()
+        workload = BroadcastWorkload(cluster, BroadcastWorkloadConfig(count=3, interval=0.2, settle_time=30.0))
+        latencies = workload.run()
+        assert all(0.0 <= latency <= 10.0 for latency in latencies)
+
+    def test_empty_cluster_raises(self):
+        params = AtumParameters(hc=3, rwl=5, gmax=6, gmin=3)
+        cluster = AtumCluster(params)
+        workload = BroadcastWorkload(cluster)
+        with pytest.raises(RuntimeError):
+            workload.run()
+
+
+class TestByzantineSelection:
+    def test_select_by_count(self):
+        addresses = [f"n{i}" for i in range(100)]
+        chosen = select_byzantine(addresses, count=7)
+        assert len(chosen) == 7
+        assert set(chosen) <= set(addresses)
+
+    def test_select_by_fraction(self):
+        addresses = [f"n{i}" for i in range(850)]
+        chosen = select_byzantine(addresses, fraction=0.058)
+        assert len(chosen) == round(0.058 * 850)
+
+    def test_both_or_neither_rejected(self):
+        with pytest.raises(ValueError):
+            select_byzantine(["a"], count=1, fraction=0.5)
+        with pytest.raises(ValueError):
+            select_byzantine(["a"])
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            select_byzantine(["a", "b"], count=3)
+
+    def test_deterministic_with_seeded_rng(self):
+        addresses = [f"n{i}" for i in range(50)]
+        first = select_byzantine(addresses, count=5, rng=random.Random(1))
+        second = select_byzantine(addresses, count=5, rng=random.Random(1))
+        assert first == second
