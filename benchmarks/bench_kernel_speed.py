@@ -1,0 +1,42 @@
+"""Kernel speed: events/sec of the simulation hot paths vs the pre-PR kernel.
+
+Unlike the figure benchmarks, this one measures the *harness itself*: how many
+simulation events per second the kernel sustains on a pure scheduler workload
+and on a message-dense mixed workload (events + per-event metrics + payload
+digests + percentile queries).  It writes ``BENCH_kernel.json`` at the repo
+root with both the recorded pre-optimisation baseline and the current numbers,
+starting the repo's perf trajectory: future PRs are held to these numbers.
+
+The assertion uses the ``mixed`` scenario — the shape of the paper-figure
+benchmarks — and a floor well below the measured speedup (~7x at the time of
+writing) so only gross regressions fail while machine-to-machine variance
+does not.
+"""
+
+import json
+import os
+
+from repro.sim.perf import BASELINE_EVENTS_PER_SEC, TARGET_SPEEDUP, write_report
+
+REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_kernel.json")
+
+
+def test_kernel_speed(benchmark, scale):
+    repeats = max(3, scale)
+    report = benchmark.pedantic(
+        write_report, args=(REPORT_PATH,), kwargs={"repeats": repeats}, rounds=1, iterations=1
+    )
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    scenarios = report["scenarios"]
+    for name in ("events", "mixed"):
+        entry = scenarios[name]
+        assert entry["baseline_events_per_sec"] == BASELINE_EVENTS_PER_SEC[name]
+        assert entry["current_events_per_sec"] > 0
+
+    # The optimised kernel must beat the pre-PR kernel by the target factor on
+    # the message-dense scenario, and must not have regressed on the pure
+    # scheduler scenario.
+    assert scenarios["mixed"]["speedup"] >= TARGET_SPEEDUP
+    assert scenarios["events"]["speedup"] >= 1.5

@@ -10,7 +10,16 @@ without the cost of real asymmetric cryptography, whose CPU cost is instead
 charged to simulated time via :class:`CryptoCostModel`.
 """
 
-from repro.crypto.digest import digest_bytes, digest_object, Digest
+from repro.crypto.digest import (
+    Digest,
+    DIGEST_MODE_COST_ONLY,
+    DIGEST_MODE_REAL,
+    digest_bytes,
+    digest_mode,
+    digest_object,
+    get_digest_mode,
+    set_digest_mode,
+)
 from repro.crypto.keys import KeyPair, KeyRegistry, Signature, SignatureError
 from repro.crypto.certificates import WalkCertificate, CertificateChain
 from repro.crypto.cost import CryptoCostModel
@@ -18,6 +27,11 @@ from repro.crypto.cost import CryptoCostModel
 __all__ = [
     "digest_bytes",
     "digest_object",
+    "digest_mode",
+    "get_digest_mode",
+    "set_digest_mode",
+    "DIGEST_MODE_REAL",
+    "DIGEST_MODE_COST_ONLY",
     "Digest",
     "KeyPair",
     "KeyRegistry",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+from repro.crypto.digest import digest_object_in_mode, digest_token_mode
 from repro.crypto.keys import KeyRegistry, Signature
 
 
@@ -94,6 +95,14 @@ class CertificateChain:
     def verify(self, registry: KeyRegistry, origin_group: str) -> bool:
         """Verify the chain: signatures, majority quorums and hop linkage.
 
+        The statement of each certificate is canonicalised and digested once,
+        then every signature is checked against that digest (in cost-model-only
+        digest mode the digest is the cheap ``cm:`` token, but the MAC check
+        always runs — skipping it would let forged signatures through and make
+        the mode behave differently under Byzantine scenarios).  A quorum
+        counts *distinct* signers: duplicated signatures from one member do
+        not add up to a majority.
+
         Args:
             registry: Key registry used to check signatures.
             origin_group: Group id that started the walk; the first certificate
@@ -108,16 +117,27 @@ class CertificateChain:
             if certificate.issuer != previous_next:
                 return False
             statement = certificate.statement()
-            valid = 0
+            # Digest the statement at most once per token mode seen among the
+            # signatures (normally exactly one); signatures created before a
+            # digest-mode switch keep verifying after it.
+            digest_per_mode: dict = {}
+            members = certificate.issuer_members
+            valid_signers = set()
             for signature in certificate.signatures:
                 if not isinstance(signature, Signature):
                     continue
-                if signature.signer not in certificate.issuer_members:
+                if signature.signer not in members:
                     continue
-                if registry.verify(signature, statement):
-                    valid += 1
-            required = len(certificate.issuer_members) // 2 + 1
-            if valid < required:
+                mode = digest_token_mode(signature.digest)
+                expected = digest_per_mode.get(mode)
+                if expected is None:
+                    expected = digest_per_mode[mode] = digest_object_in_mode(
+                        statement, mode
+                    )
+                if registry.verify_digest(signature, expected):
+                    valid_signers.add(signature.signer)
+            required = len(members) // 2 + 1
+            if len(valid_signers) < required:
                 return False
             previous_next = certificate.next_hop
         return True

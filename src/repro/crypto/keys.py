@@ -16,7 +16,11 @@ import hmac
 from dataclasses import dataclass
 from typing import Any, Dict
 
-from repro.crypto.digest import digest_object
+from repro.crypto.digest import (
+    digest_object,
+    digest_object_in_mode,
+    digest_token_mode,
+)
 
 
 class SignatureError(Exception):
@@ -32,8 +36,12 @@ class Signature:
     mac: str
 
     def covers(self, obj: Any) -> bool:
-        """Return whether this signature was computed over ``obj``."""
-        return self.digest == digest_object(obj)
+        """Return whether this signature was computed over ``obj``.
+
+        The digest is recomputed in the mode this signature's token was
+        created under, so signatures survive a global digest-mode switch.
+        """
+        return self.digest == digest_object_in_mode(obj, digest_token_mode(self.digest))
 
 
 @dataclass(frozen=True)
@@ -43,10 +51,13 @@ class KeyPair:
     owner: str
     secret: bytes
 
+    def mac_of(self, digest: str) -> str:
+        """The MAC this key produces over a digest (single source of truth)."""
+        return hmac.new(self.secret, digest.encode("utf-8"), hashlib.sha256).hexdigest()
+
     def sign(self, obj: Any) -> Signature:
         digest = digest_object(obj)
-        mac = hmac.new(self.secret, digest.encode("utf-8"), hashlib.sha256).hexdigest()
-        return Signature(signer=self.owner, digest=digest, mac=mac)
+        return Signature(signer=self.owner, digest=digest, mac=self.mac_of(digest))
 
 
 class KeyRegistry:
@@ -71,14 +82,29 @@ class KeyRegistry:
         return self.generate(owner).sign(obj)
 
     def verify(self, signature: Signature, obj: Any) -> bool:
-        """Return ``True`` iff ``signature`` is a valid signature of ``obj``."""
+        """Return ``True`` iff ``signature`` is a valid signature of ``obj``.
+
+        The comparison digest is computed in the mode the signature's token
+        was created under (see :func:`repro.crypto.digest.digest_token_mode`),
+        so switching the global digest mode does not invalidate signatures
+        created earlier.
+        """
+        expected = digest_object_in_mode(obj, digest_token_mode(signature.digest))
+        return self.verify_digest(signature, expected)
+
+    def verify_digest(self, signature: Signature, digest: str) -> bool:
+        """Verify against a precomputed digest of the signed object.
+
+        Lets callers that check many signatures over the same statement (e.g.
+        certificate chains) canonicalise and digest the statement once instead
+        of twice per signature.
+        """
         key = self._keys.get(signature.signer)
         if key is None:
             return False
-        if not signature.covers(obj):
+        if signature.digest != digest:
             return False
-        expected = key.sign(obj)
-        return hmac.compare_digest(expected.mac, signature.mac)
+        return hmac.compare_digest(key.mac_of(digest), signature.mac)
 
     def verify_or_raise(self, signature: Signature, obj: Any) -> None:
         if not self.verify(signature, obj):

@@ -60,8 +60,19 @@ class LogNormalLatency(LatencyModel):
     sigma: float = 0.3
     floor: float = 0.0001
 
+    def __post_init__(self) -> None:
+        # ``log(median)`` only changes when ``median`` does; cache it so the
+        # per-message fast path is one float compare plus ``lognormvariate``.
+        self._mu = math.log(self.median)
+        self._mu_median = self.median
+
     def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
-        value = rng.lognormvariate(math.log(self.median), self.sigma)
+        median = self.median
+        if median != self._mu_median:
+            # The public field was reassigned; revalidate the cached log.
+            self._mu = math.log(median)
+            self._mu_median = median
+        value = rng.lognormvariate(self._mu, self.sigma)
         return max(self.floor, value)
 
 
@@ -71,6 +82,9 @@ class LanProfile(LogNormalLatency):
     def __init__(self) -> None:
         super().__init__(median=0.0005, sigma=0.25, floor=0.0001)
 
+
+#: Upper bound on cached per-pair latency parameters (see RegionalLatency).
+_MU_CACHE_LIMIT = 262_144
 
 #: Representative one-way latencies (seconds) between EC2-like regions.
 _REGION_BASE_LATENCY: Dict[Tuple[str, str], float] = {}
@@ -137,6 +151,23 @@ class RegionalLatency(LatencyModel):
     jitter_sigma: float = 0.15
     default_inter_region: float = 0.080
 
+    def __post_init__(self) -> None:
+        # Per-pair cache of ``log(base_latency)``: sampling a latency for a
+        # known (sender, receiver) pair costs one dict hit plus one
+        # ``lognormvariate`` draw.  The cached intra/default parameters are
+        # re-checked on every sample so reassigning those public fields takes
+        # effect immediately, as it did before the cache existed.
+        self._mu_cache: Dict[Tuple[str, str], float] = {}
+        self._cached_intra = self.intra_region_median
+        self._cached_default = self.default_inter_region
+
+    def invalidate_pair_cache(self) -> None:
+        """Drop cached per-pair latencies (after mutating ``region_of`` or
+        the latency parameters directly)."""
+        self._mu_cache.clear()
+        self._cached_intra = self.intra_region_median
+        self._cached_default = self.default_inter_region
+
     def region(self, address: str) -> str:
         return self.region_of.get(address, _DEFAULT_REGIONS[0])
 
@@ -148,8 +179,26 @@ class RegionalLatency(LatencyModel):
         return _REGION_BASE_LATENCY.get((region_a, region_b), self.default_inter_region)
 
     def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
-        base = self.base_latency(sender, receiver)
-        return rng.lognormvariate(math.log(base), self.jitter_sigma)
+        if (
+            self.intra_region_median != self._cached_intra
+            or self.default_inter_region != self._cached_default
+        ):
+            self.invalidate_pair_cache()
+        pair = (sender, receiver)
+        mu = self._mu_cache.get(pair)
+        if mu is None:
+            mu = math.log(self.base_latency(sender, receiver))
+            # Only cache pairs whose endpoints both have explicit region
+            # assignments: assignments are add-only, so such entries can
+            # never go stale and joins need no cache invalidation at all.
+            # The bound keeps long churn runs (which mint fresh addresses
+            # forever) from growing the cache without limit; a rare full
+            # reset simply re-warms the live pairs.
+            if sender in self.region_of and receiver in self.region_of:
+                if len(self._mu_cache) >= _MU_CACHE_LIMIT:
+                    self._mu_cache.clear()
+                self._mu_cache[pair] = mu
+        return rng.lognormvariate(mu, self.jitter_sigma)
 
 
 class WanProfile(RegionalLatency):
@@ -163,7 +212,12 @@ class WanProfile(RegionalLatency):
         super().__init__(region_of=region_of)
 
     def assign(self, address: str) -> str:
-        """Assign (and remember) a region for a new address, round-robin."""
+        """Assign (and remember) a region for a new address, round-robin.
+
+        No cache invalidation is needed: pairs involving an unassigned
+        address are never cached (see :meth:`RegionalLatency.sample`), and
+        existing assignments are never changed.
+        """
         if address not in self.region_of:
             index = len(self.region_of) % len(_DEFAULT_REGIONS)
             self.region_of[address] = _DEFAULT_REGIONS[index]

@@ -3,17 +3,27 @@
 Events are ordered by ``(time, priority, sequence)``.  The sequence number
 guarantees a deterministic total order even when many events share the same
 timestamp, which is essential for reproducible simulations.
+
+The queue is the hottest data structure in the repository: every message
+delivery, timer and protocol round passes through it.  Two choices keep it
+fast while preserving the exact ordering semantics of the original
+implementation:
+
+* heap entries are plain ``(time, priority, seq, event)`` tuples, so all
+  sift comparisons run as C tuple comparisons instead of Python-level
+  ``__lt__`` calls (``seq`` is unique, so the trailing event is never
+  compared);
+* :class:`Event` is a ``__slots__`` handle carrying the callback and the
+  cancellation flag; cancellation is O(1) and lazy — cancelled entries are
+  skipped when they surface at the heap root.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback in simulated time.
 
@@ -27,24 +37,53 @@ class Event:
         tag: Optional human-readable label used in traces and debugging.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    tag: Optional[str] = field(default=None, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled", "tag")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        cancelled: bool = False,
+        tag: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = cancelled
+        self.tag = tag
 
     def cancel(self) -> None:
         """Mark the event as cancelled; it will be skipped when popped."""
         self.cancelled = True
 
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} prio={self.priority} seq={self.seq} tag={self.tag!r}{state}>"
+
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` objects.
+
+    The backing heap holds ``(time, priority, seq, event)`` tuples; see the
+    module docstring for why.  ``_heap`` is private but the simulator's run
+    loop reads it directly to avoid per-event method-call overhead.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple] = []
+        self._seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -58,21 +97,18 @@ class EventQueue:
         tag: Optional[str] = None,
     ) -> Event:
         """Schedule ``callback`` at ``time`` and return the event handle."""
-        event = Event(
-            time=time,
-            priority=priority,
-            seq=next(self._counter),
-            callback=callback,
-            tag=tag,
-        )
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, priority, seq, callback, False, tag)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Pop the next non-cancelled event, or ``None`` if the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
             if event.cancelled:
                 continue
             self._live -= 1
@@ -82,11 +118,12 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next non-cancelled event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def notify_cancelled(self) -> None:
         """Account for an externally cancelled event (keeps ``len`` accurate)."""

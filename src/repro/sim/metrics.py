@@ -2,6 +2,12 @@
 
 The benchmark harness and the integration tests inspect protocol behaviour
 through these metrics rather than by poking protocol internals.
+
+:class:`Histogram` is on the per-message hot path (every delivery records a
+latency sample), so it keeps running accumulators for ``mean``/``minimum``/
+``maximum`` and a lazily-maintained sorted view for ``percentile``/``cdf``:
+recording invalidates the view, queries re-sort at most once per batch of
+records instead of once per query.
 """
 
 from __future__ import annotations
@@ -9,20 +15,108 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
-@dataclass
 class Histogram:
-    """A simple sample-accumulating histogram with percentile queries."""
+    """A sample-accumulating histogram with cached percentile queries.
 
-    samples: List[float] = field(default_factory=list)
+    ``samples`` stays a public list (in insertion order).  Appending to it
+    directly remains fully supported: the running accumulators and the cached
+    sorted view reconcile lazily on the next query, exactly as if the values
+    had gone through :meth:`record`.  Destructive mutations (``clear``,
+    ``pop``, slice assignment) are detected on a best-effort basis — a shrink
+    or a changed last-accumulated element triggers a full recompute, but a
+    same-length interior rewrite (or a regrow that coincidentally reproduces
+    the last accumulated value at its old index) is not observable in O(1);
+    call :meth:`invalidate` after such mutations.
+    """
+
+    __slots__ = ("samples", "_sorted", "_sum", "_min", "_max", "_acc_count", "_last_acc")
+
+    def __init__(self, samples: Optional[Iterable[float]] = None) -> None:
+        self.samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._acc_count = 0
+        self._last_acc: Optional[float] = None
+        if samples:
+            self.record_many(samples)
 
     def record(self, value: float) -> None:
+        # The sorted view is reconciled lazily in _sorted_view(), so the
+        # record hot path never touches it.  Values appended directly to
+        # ``samples`` must be folded in first, or their indices would be
+        # mistaken for this record's.
+        if self._acc_count != len(self.samples):
+            self._reconcile()
         self.samples.append(value)
+        self._acc_count += 1
+        self._last_acc = value
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def invalidate(self) -> None:
+        """Force a full recompute after arbitrary mutation of ``samples``."""
+        samples = self.samples
+        self._sum = sum(samples)
+        self._min = min(samples) if samples else math.inf
+        self._max = max(samples) if samples else -math.inf
+        self._sorted = None
+        self._acc_count = len(samples)
+        self._last_acc = samples[-1] if samples else None
+
+    def _reconcile(self) -> None:
+        """Fold direct mutations of ``samples`` into the accumulators.
+
+        A grown list with an untouched last accumulated element folds in the
+        new tail; a shrink, or a changed element at the last accumulated
+        index (e.g. ``clear()`` followed by new appends), triggers a full
+        recompute and drops the cached sorted view.
+        """
+        count = self._acc_count
+        samples = self.samples
+        grown_cleanly = count < len(samples) and (
+            count == 0 or samples[count - 1] == self._last_acc
+        )
+        if count == len(samples) and (count == 0 or samples[-1] == self._last_acc):
+            return
+        if grown_cleanly:
+            tail = samples[count:]
+            self._sum += sum(tail)
+            tail_min = min(tail)
+            tail_max = max(tail)
+            if tail_min < self._min:
+                self._min = tail_min
+            if tail_max > self._max:
+                self._max = tail_max
+        else:
+            self._sum = sum(samples)
+            self._min = min(samples) if samples else math.inf
+            self._max = max(samples) if samples else -math.inf
+            self._sorted = None
+        self._acc_count = len(samples)
+        self._last_acc = samples[-1] if samples else None
 
     def __len__(self) -> int:
         return len(self.samples)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Histogram):
+            return self.samples == other.samples
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={len(self.samples)})"
 
     @property
     def count(self) -> int:
@@ -32,15 +126,41 @@ class Histogram:
     def mean(self) -> float:
         if not self.samples:
             return math.nan
-        return sum(self.samples) / len(self.samples)
+        self._reconcile()
+        return self._sum / len(self.samples)
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else math.nan
+        if not self.samples:
+            return math.nan
+        self._reconcile()
+        return self._min
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else math.nan
+        if not self.samples:
+            return math.nan
+        self._reconcile()
+        return self._max
+
+    def _sorted_view(self) -> List[float]:
+        # Reconcile first: destructive external mutations drop the cached
+        # view, so what remains below is first-query or clean growth.
+        self._reconcile()
+        ordered = self._sorted
+        samples = self.samples
+        if ordered is None or len(ordered) > len(samples):
+            ordered = self._sorted = sorted(samples)
+        elif len(ordered) < len(samples):
+            # Merge the (already sorted) view with the newly recorded tail:
+            # concatenating two ascending runs lets timsort merge them in
+            # O(n) with C-level comparisons, instead of a full re-sort.
+            tail = samples[len(ordered):]
+            tail.sort()
+            ordered = ordered + tail
+            ordered.sort()
+            self._sorted = ordered
+        return ordered
 
     def percentile(self, p: float) -> float:
         """Return the ``p``-th percentile (0..100) using nearest-rank."""
@@ -48,13 +168,13 @@ class Histogram:
             return math.nan
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.samples)
+        ordered = self._sorted_view()
         rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
     def cdf(self) -> List[Tuple[float, float]]:
         """Return the empirical CDF as ``(value, fraction <= value)`` pairs."""
-        ordered = sorted(self.samples)
+        ordered = self._sorted_view()
         n = len(ordered)
         return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
 
@@ -134,6 +254,8 @@ class MetricsRegistry:
     def merge_histograms(histograms: Iterable[Histogram]) -> Histogram:
         merged = Histogram()
         for histogram in histograms:
+            # C-speed bulk append; the lazy reconcile folds the tail into the
+            # accumulators on first query.
             merged.samples.extend(histogram.samples)
         return merged
 

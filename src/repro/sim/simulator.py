@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import heapq
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.events import Event, EventQueue
 from repro.sim.metrics import MetricsRegistry
@@ -61,7 +62,7 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.queue.push(self._now + delay, callback, priority=priority, tag=tag)
+        return self.queue.push(self._now + delay, callback, priority, tag)
 
     def schedule_at(
         self,
@@ -105,6 +106,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: Optional[int] = None,
+        trace: Optional[List[Tuple[float, Optional[str]]]] = None,
     ) -> float:
         """Run the event loop.
 
@@ -112,6 +114,8 @@ class Simulator:
             until: Stop once simulated time would exceed this value.  Events at
                 exactly ``until`` are processed.
             max_events: Stop after this many events (safety valve in tests).
+            trace: When given, ``(time, tag)`` is appended for every processed
+                event — the hook used by the golden-trace determinism tests.
 
         Returns:
             The simulated time at which the run stopped.
@@ -121,20 +125,36 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         processed_this_run = 0
+        # Hot loop: operate directly on the queue's tuple heap so that each
+        # iteration costs one heappop plus the callback, with no per-event
+        # method calls.  Ordering is identical to pop()/step(): entries are
+        # (time, priority, seq, event) tuples and cancelled events are
+        # skipped lazily.  ``self._now`` is re-read each iteration because
+        # callbacks never mutate it, only this loop does.
+        heap = self.queue._heap
+        heappop = heapq.heappop
         try:
             while True:
                 if self._stop_requested:
                     break
                 if max_events is not None and processed_this_run >= max_events:
                     break
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)
+                if not heap:
+                    self.queue._live = 0
                     break
+                next_time = heap[0][0]
                 if until is not None and next_time > until:
                     self._now = until
                     break
-                if not self.step():
-                    break
+                event = heappop(heap)[3]
+                self.queue._live -= 1
+                self._now = next_time
+                if trace is not None:
+                    trace.append((next_time, event.tag))
+                event.callback()
+                self._processed += 1
                 processed_this_run += 1
         finally:
             self._running = False

@@ -1,16 +1,23 @@
 """Unit tests for the crypto substrate."""
 
+import json
+
 import pytest
 
 from repro.crypto import (
+    DIGEST_MODE_COST_ONLY,
+    DIGEST_MODE_REAL,
     CertificateChain,
     CryptoCostModel,
     KeyRegistry,
     SignatureError,
     digest_bytes,
+    digest_mode,
     digest_object,
+    get_digest_mode,
 )
 from repro.crypto.certificates import make_certificate
+from repro.crypto.digest import _canonical, canonical_encode, clear_digest_memo
 
 
 class TestDigests:
@@ -39,6 +46,198 @@ class TestDigests:
 
         assert digest_object(Point(1, 2)) == digest_object(Point(1, 2))
         assert digest_object(Point(1, 2)) != digest_object(Point(2, 1))
+
+    def test_mixed_type_set_does_not_raise(self):
+        """Regression: sorting a canonicalised mixed-type set used to raise
+        TypeError (e.g. int vs str).  It must digest deterministically now."""
+        obj = {"set": {1, "one", (2, 3), frozenset({"x"})}}
+        first = digest_object(obj)
+        second = digest_object({"set": {frozenset({"x"}), (2, 3), "one", 1}})
+        assert first == second
+        # The reference canonicaliser tolerates mixed sets too.
+        assert _canonical(obj) == _canonical(obj)
+
+    def test_fast_encoder_matches_reference_canonical(self):
+        """canonical_encode must equal json.dumps over the reference transform."""
+        from dataclasses import dataclass, field
+
+        @dataclass
+        class Inner:
+            values: tuple
+            blob: bytes
+
+        @dataclass
+        class Outer:
+            name: str
+            inner: Inner
+            table: dict = field(default_factory=dict)
+
+        @dataclass(frozen=True)
+        class Tag:
+            name: str
+
+        @dataclass(frozen=True)
+        class Tagged:
+            tags: frozenset
+
+        samples = [
+            {"b": 2, "a": {1, 2, 3}, "c": [None, True, 1.5, b"\xff"]},
+            Outer("x", Inner((1, "two"), b"\x00"), {"k": Inner((0,), b"")}),
+            [Outer("y", Inner((), b"z"), {})],
+            {"nested": {"deep": [{"set": {"a", "b"}}]}},
+            # Dataclasses inside a set under a dataclass keep their __dc__
+            # marker (asdict never recursed into sets).
+            Tagged(frozenset({Tag("a"), Tag("b")})),
+            {"top": {Tag("c")}},
+        ]
+        for obj in samples:
+            reference = json.dumps(_canonical(obj), sort_keys=True, default=str)
+            assert canonical_encode(obj) == reference
+
+        @dataclass(frozen=True)
+        class OtherTag:
+            name: str
+
+        # Distinct dataclass types with equal fields must not collide, even
+        # nested in sets beneath a dataclass.
+        assert digest_object(Tagged(frozenset({Tag("a")}))) != digest_object(
+            Tagged(frozenset({OtherTag("a")}))
+        )
+
+    def test_identity_memo_returns_stable_digests(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Frozen:
+            a: int
+            b: str
+
+        clear_digest_memo()
+        payload = Frozen(1, "x")
+        first = digest_object(payload)
+        assert digest_object(payload) == first  # memo hit
+        assert digest_object(Frozen(1, "x")) == first  # equal value, fresh object
+        assert digest_object(Frozen(2, "x")) != first
+
+    def test_memo_skips_outer_immutables_with_mutable_interiors(self):
+        """Regression: a frozen dataclass or tuple holding a mutable value
+        must not be memoised by identity — mutating the interior must change
+        the digest."""
+        from dataclasses import dataclass
+        from typing import Any
+
+        @dataclass(frozen=True)
+        class Operation:
+            kind: str
+            body: Any
+
+        clear_digest_memo()
+        op = Operation("broadcast", {"k": 1})
+        before = digest_object(op)
+        op.body["k"] = 999
+        after = digest_object(op)
+        assert before != after
+        assert after == digest_object(Operation("broadcast", {"k": 999}))
+
+        boxed = ([1, 2],)
+        first = digest_object(boxed)
+        boxed[0].append(3)
+        assert digest_object(boxed) != first
+
+    def test_frozen_dataclass_with_initvar_digests(self):
+        """Regression: InitVar pseudo-fields have no instance attribute and
+        must not be touched by the memo-eligibility walk."""
+        from dataclasses import InitVar, dataclass, field
+
+        @dataclass(frozen=True)
+        class WithInit:
+            a: int
+            b: InitVar[int]
+            total: int = field(default=0)
+
+            def __post_init__(self, b):
+                object.__setattr__(self, "total", self.a + b)
+
+        clear_digest_memo()
+        first = digest_object(WithInit(1, 2))
+        assert first == digest_object(WithInit(1, 2))
+        assert first != digest_object(WithInit(1, 3))
+
+
+class TestDigestModes:
+    # The suite must pass regardless of the ambient ATUM_DIGEST_MODE, so
+    # every test pins the mode it asserts about.
+
+    def test_mode_roundtrip_restores_ambient(self):
+        ambient = get_digest_mode()
+        with digest_mode(DIGEST_MODE_REAL):
+            assert get_digest_mode() == DIGEST_MODE_REAL
+            with digest_mode(DIGEST_MODE_COST_ONLY):
+                assert get_digest_mode() == DIGEST_MODE_COST_ONLY
+            assert get_digest_mode() == DIGEST_MODE_REAL
+        assert get_digest_mode() == ambient
+
+    def test_cost_only_mode_skips_sha256_but_keeps_equality(self):
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            a = digest_object({"op": "transfer", "amount": 7})
+            b = digest_object({"amount": 7, "op": "transfer"})
+            c = digest_object({"op": "transfer", "amount": 8})
+            assert a.startswith("cm:")
+            assert a == b
+            assert a != c
+
+    def test_modes_produce_distinct_tokens(self):
+        with digest_mode(DIGEST_MODE_REAL):
+            real = digest_object({"x": 1})
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            cheap = digest_object({"x": 1})
+        assert real != cheap
+
+    def test_signatures_roundtrip_in_cost_only_mode(self):
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            registry = KeyRegistry()
+            signature = registry.sign("alice", {"msg": "hello"})
+            assert registry.verify(signature, {"msg": "hello"})
+            assert not registry.verify(signature, {"msg": "bye"})
+
+    def test_signatures_survive_mode_switch(self):
+        """Regression: switching digest mode mid-run must not invalidate
+        signatures/certificates created under the previous mode."""
+        registry = KeyRegistry()
+        real_sig = registry.sign("alice", {"msg": "hello"})
+        chain = None
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            # Real-mode signature still verifies in cost-only mode...
+            assert registry.verify(real_sig, {"msg": "hello"})
+            assert not registry.verify(real_sig, {"msg": "bye"})
+            cheap_sig = registry.sign("alice", {"msg": "hello"})
+            members = ["m0", "m1", "m2"]
+            for member in members:
+                registry.generate(member)
+            chain = CertificateChain(walk_id="w")
+            chain.append(
+                make_certificate(
+                    registry,
+                    walk_id="w",
+                    hop=0,
+                    issuer="G0",
+                    issuer_members=members,
+                    next_hop="G1",
+                    signers=members,
+                )
+            )
+        # ...and cost-only signatures/certificates verify back in real mode.
+        assert registry.verify(cheap_sig, {"msg": "hello"})
+        assert not registry.verify(cheap_sig, {"msg": "bye"})
+        assert chain.verify(registry, origin_group="G0")
+
+    def test_cost_model_install_helpers(self):
+        CryptoCostModel.install_cost_only_digests()
+        try:
+            assert CryptoCostModel.digests_are_cost_only()
+        finally:
+            CryptoCostModel.install_real_digests()
+        assert not CryptoCostModel.digests_are_cost_only()
 
 
 class TestSignatures:
@@ -135,6 +334,81 @@ class TestCertificateChains:
                 signers=members[:2],  # only 2 of 4: not a majority
             )
         )
+        assert not chain.verify(registry, origin_group="G0")
+
+    def test_chain_verifies_in_cost_only_mode(self):
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            registry = KeyRegistry()
+            chain = self._chain(registry, hops=4)
+            assert chain.verify(registry, origin_group="G0")
+            # Structural checks still run in the fast path.
+            del chain.certificates[1]
+            assert not chain.verify(registry, origin_group="G0")
+
+    def test_forged_signature_rejected_in_cost_only_mode(self):
+        """cost_only mode must change wall-clock only: a fabricated signature
+        (correct digest, no valid MAC) still fails verification."""
+        from repro.crypto.keys import Signature
+        from repro.crypto.digest import digest_object
+
+        with digest_mode(DIGEST_MODE_COST_ONLY):
+            registry = KeyRegistry()
+            chain = CertificateChain(walk_id="w")
+            members = ["m0", "m1", "m2"]
+            for member in members:
+                registry.generate(member)
+            chain.append(
+                make_certificate(
+                    registry,
+                    walk_id="w",
+                    hop=0,
+                    issuer="G0",
+                    issuer_members=members,
+                    next_hop="G1",
+                    signers=[],
+                )
+            )
+            statement = chain.certificates[0].statement()
+            forged = tuple(
+                Signature(signer=m, digest=digest_object(statement), mac="")
+                for m in members
+            )
+            chain.certificates[0] = type(chain.certificates[0])(
+                walk_id="w",
+                hop=0,
+                issuer="G0",
+                issuer_members=tuple(members),
+                next_hop="G1",
+                signatures=forged,
+            )
+            assert not chain.verify(registry, origin_group="G0")
+
+    def test_duplicate_signatures_do_not_form_a_quorum(self):
+        """A majority requires distinct signers: the same valid signature
+        repeated must count once."""
+        registry = KeyRegistry()
+        members = ["m0", "m1", "m2"]
+        for member in members:
+            registry.generate(member)
+        certificate = make_certificate(
+            registry,
+            walk_id="w",
+            hop=0,
+            issuer="G0",
+            issuer_members=members,
+            next_hop="G1",
+            signers=["m0"],
+        )
+        duplicated = type(certificate)(
+            walk_id="w",
+            hop=0,
+            issuer="G0",
+            issuer_members=tuple(members),
+            next_hop="G1",
+            signatures=certificate.signatures * 3,
+        )
+        chain = CertificateChain(walk_id="w")
+        chain.append(duplicated)
         assert not chain.verify(registry, origin_group="G0")
 
     def test_chain_size_grows_linearly(self):

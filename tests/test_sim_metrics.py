@@ -36,6 +36,107 @@ class TestHistogram:
         assert math.isnan(histogram.mean)
         assert math.isnan(histogram.percentile(50))
 
+    def test_interleaved_records_and_queries_stay_correct(self):
+        """The cached sorted view must reconcile after every batch of records."""
+        histogram = Histogram()
+        reference = []
+        for round_index in range(5):
+            for value in [float((7 * round_index + i) % 13) for i in range(20)]:
+                histogram.record(value)
+                reference.append(value)
+            ordered = sorted(reference)
+            assert histogram.percentile(0) == ordered[0]
+            assert histogram.percentile(100) == ordered[-1]
+            assert histogram.cdf() == [
+                (v, (i + 1) / len(ordered)) for i, v in enumerate(ordered)
+            ]
+            assert histogram.mean == pytest.approx(sum(reference) / len(reference))
+            assert histogram.minimum == min(reference)
+            assert histogram.maximum == max(reference)
+
+    def test_direct_appends_to_samples_stay_consistent(self):
+        """Legacy pattern: appending to the public ``samples`` list directly
+        must reconcile into mean/min/max and the sorted view."""
+        histogram = Histogram()
+        histogram.record(2.0)
+        histogram.samples.extend([5.0, 1.0])
+        assert histogram.mean == pytest.approx(8.0 / 3.0)
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 5.0
+        assert histogram.percentile(100) == 5.0
+        assert histogram.count == 3
+
+    def test_record_after_direct_append_reconciles_first(self):
+        """Regression: record() after a direct append must fold the appended
+        value in, not mistake its index for the recorded one."""
+        histogram = Histogram()
+        histogram.record(1.0)
+        histogram.samples.append(2.0)
+        histogram.record(3.0)
+        assert histogram.mean == pytest.approx(2.0)
+        histogram2 = Histogram()
+        histogram2.record(5.0)
+        histogram2.samples.append(-10.0)
+        histogram2.record(7.0)
+        assert histogram2.minimum == -10.0
+        assert histogram2.maximum == 7.0
+
+    def test_shrinking_samples_recomputes_accumulators(self):
+        """Regression: clear()/pop() on the public list must not crash or
+        leave stale stats (the pre-optimisation implementation tolerated any
+        mutation)."""
+        histogram = Histogram()
+        histogram.record(1.0)
+        histogram.samples.clear()
+        histogram.record(2.0)
+        assert histogram.mean == 2.0
+        assert histogram.minimum == 2.0
+        histogram2 = Histogram()
+        histogram2.record(5.0)
+        histogram2.record(9.0)
+        assert histogram2.maximum == 9.0
+        histogram2.samples.pop()
+        assert histogram2.maximum == 5.0
+        assert histogram2.mean == 5.0
+        assert histogram2.percentile(100) == 5.0
+
+    def test_clear_then_regrow_is_detected(self):
+        """Regression: clear()+extend() to an equal-or-longer length must not
+        be mistaken for an appended tail (detected via the last accumulated
+        element)."""
+        histogram = Histogram()
+        histogram.record_many([1.0, 2.0, 3.0])
+        assert histogram.percentile(50) == 2.0  # warm the sorted view
+        histogram.samples.clear()
+        histogram.samples.extend([10.0, 20.0, 30.0, 40.0, 50.0])
+        assert histogram.mean == pytest.approx(30.0)
+        assert histogram.minimum == 10.0
+        assert histogram.maximum == 50.0
+        assert histogram.percentile(0) == 10.0
+        assert histogram.cdf()[0] == (10.0, 1 / 5)
+
+    def test_invalidate_covers_undetectable_mutations(self):
+        """A regrow that reproduces the last accumulated value at its old
+        index is not auto-detectable in O(1); invalidate() recovers."""
+        histogram = Histogram()
+        histogram.record(1.0)
+        histogram.record(2.0)
+        histogram.samples.clear()
+        histogram.samples.extend([9.0, 2.0, 5.0])
+        histogram.invalidate()
+        assert histogram.mean == pytest.approx(16.0 / 3.0)
+        assert histogram.minimum == 2.0
+        assert histogram.maximum == 9.0
+        assert histogram.percentile(0) == 2.0
+
+    def test_constructor_seeds_accumulators(self):
+        histogram = Histogram(samples=[3.0, 1.0, 2.0])
+        assert histogram.count == 3
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.percentile(50) == 2.0
+
     def test_cdf_is_monotone_and_ends_at_one(self):
         histogram = Histogram()
         for value in [3.0, 1.0, 2.0]:
