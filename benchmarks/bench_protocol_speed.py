@@ -1,0 +1,90 @@
+"""Protocol speed: broadcast msgs/sec of the protocol stack vs the pre-PR path.
+
+Where ``bench_kernel_speed.py`` measures the simulation kernel,
+this benchmark measures the *protocol layers* above it — group-message
+fan-out, gossip forwarding over the H-graph, and the membership engine — and
+writes ``BENCH_protocol.json`` at the repo root with the recorded
+pre-optimisation baseline next to the current numbers.
+
+Three scenarios (see :mod:`repro.sim.protocol_perf`):
+
+* ``broadcast`` — the gossip stack with per-message delivery events (the
+  pre-PR event granularity); held to a conservative 2x floor.
+* ``broadcast_coalesced`` — the full fast path with batched fan-out delivery
+  (``NetworkConfig.coalesced_fanout_delivery``); held to the 3x target.
+* ``churn`` — membership ops/sec under sustained joins/leaves; 1.2x floor.
+
+The benchmark also fans a seeded shard sweep through ``repro.sim.runpar``
+and asserts the multiprocess merge is identical to the serial merge — the
+parallel runner must never change results, only wall-clock.
+"""
+
+import json
+import os
+
+from repro.sim.protocol_perf import (
+    BASELINE_PROTOCOL_RATES,
+    TARGET_CHURN_SPEEDUP,
+    TARGET_PROTOCOL_SPEEDUP,
+    TARGET_PROTOCOL_SPEEDUP_UNCOALESCED,
+    write_report,
+)
+from repro.sim.runpar import run_and_merge
+
+REPORT_PATH = os.path.join(os.path.dirname(os.path.dirname(__file__)), "BENCH_protocol.json")
+
+RUNPAR_SHARD_KWARGS = {
+    "groups": 8,
+    "group_size": 6,
+    "broadcasts": 4,
+    "horizon": 30.0,
+    "heartbeat_period": None,
+    "randomized_send_order": False,
+}
+
+
+def test_protocol_speed(benchmark, scale):
+    repeats = max(3, scale)
+    report = benchmark.pedantic(
+        write_report, args=(REPORT_PATH,), kwargs={"repeats": repeats}, rounds=1, iterations=1
+    )
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    scenarios = report["scenarios"]
+    assert (
+        scenarios["broadcast"]["baseline_msgs_per_sec"]
+        == BASELINE_PROTOCOL_RATES["broadcast_msgs_per_sec"]
+    )
+    assert (
+        scenarios["churn"]["baseline_ops_per_sec"]
+        == BASELINE_PROTOCOL_RATES["churn_ops_per_sec"]
+    )
+    for name in ("broadcast", "broadcast_coalesced", "churn"):
+        current_key = (
+            "current_ops_per_sec" if name == "churn" else "current_msgs_per_sec"
+        )
+        assert scenarios[name][current_key] > 0
+
+    # The full protocol fast path (batched fan-out delivery) must beat the
+    # pre-PR protocol stack by the target factor on broadcast dissemination;
+    # the per-message-event variant and the membership engine must clear
+    # their conservative floors.
+    assert scenarios["broadcast_coalesced"]["speedup"] >= TARGET_PROTOCOL_SPEEDUP
+    assert scenarios["broadcast"]["speedup"] >= TARGET_PROTOCOL_SPEEDUP_UNCOALESCED
+    assert scenarios["churn"]["speedup"] >= TARGET_CHURN_SPEEDUP
+
+
+def test_runpar_merge_matches_serial():
+    """Fanning shards across processes must not change any merged metric."""
+    seeds = [11, 12, 13, 14]
+    serial = run_and_merge(
+        "repro.sim.protocol_perf:broadcast_shard", seeds, workers=1, kwargs=RUNPAR_SHARD_KWARGS
+    )
+    parallel = run_and_merge(
+        "repro.sim.protocol_perf:broadcast_shard", seeds, workers=2, kwargs=RUNPAR_SHARD_KWARGS
+    )
+    assert parallel["shards"] == serial["shards"] == len(seeds)
+    assert parallel["counters"] == serial["counters"]
+    for name, histogram in serial["histograms"].items():
+        assert parallel["histograms"][name].samples == histogram.samples

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import AtumParameters, SmrKind
@@ -142,7 +143,7 @@ class AtumNode(Actor):
                 address=address,
                 group_id_fn=lambda: self.vgroup_view.group_id if self.vgroup_view else "",
                 peers_fn=lambda: self.vgroup_view.members if self.vgroup_view else (),
-                send_fn=lambda peer, hb: self.network.send(self.address, peer, hb, 64),
+                send_fn=lambda peer, hb: self.network.send_one(self.address, peer, hb, 64),
                 suspect_fn=self._on_peer_suspected,
                 config=HeartbeatConfig(period=params.heartbeat_period),
             )
@@ -393,8 +394,16 @@ class AtumNode(Actor):
         return targets
 
 
+@lru_cache(maxsize=4096)
 def _stable_hash(value: str) -> int:
-    """A process-independent stable hash (Python's ``hash`` is salted)."""
+    """A process-independent stable hash (Python's ``hash`` is salted).
+
+    Kept distinct from :func:`repro.overlay.gossip.stable_message_hash` (an
+    8-byte digest): this 4-byte variant predates it and changing the width
+    would silently reshuffle the single/double/random forwarding cycles, so
+    it only gains a cache here.  Broadcast ids repeat for every hop of a
+    dissemination, then die; the LRU bound keeps long runs flat.
+    """
     return int.from_bytes(hashlib.sha256(value.encode("utf-8")).digest()[:4], "big")
 
 

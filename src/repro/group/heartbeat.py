@@ -16,7 +16,7 @@ from typing import Callable, Dict, Iterable
 from repro.sim.simulator import Simulator
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Heartbeat:
     """Wire payload of a heartbeat message."""
 
@@ -68,6 +68,12 @@ class HeartbeatMonitor:
         self.last_seen: Dict[str, float] = {}
         self.suspected: set = set()
         self.running = False
+        # Peer-set cache keyed on the identity of the object ``peers_fn``
+        # returns: vgroup views hand out the same immutable members tuple
+        # until the next reconfiguration, so the per-tick cost stays
+        # proportional to the monitored peers with no per-tick set building.
+        self._peers_obj: object = None
+        self._peer_set: frozenset = frozenset()
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -90,11 +96,21 @@ class HeartbeatMonitor:
         group_id = self.group_id_fn()
         heartbeat = Heartbeat(sender=self.address, group_id=group_id, sequence=self.sequence)
         now = self.sim.now
-        for peer in self.peers_fn():
-            if peer == self.address:
+        peers = self.peers_fn()
+        if not isinstance(peers, tuple):
+            peers = tuple(peers)
+        if peers is not self._peers_obj:
+            self._peers_obj = peers
+            self._peer_set = frozenset(peers)
+        address = self.address
+        send_fn = self.send_fn
+        last_seen = self.last_seen
+        for peer in peers:
+            if peer == address:
                 continue
-            self.send_fn(peer, heartbeat)
-            self.last_seen.setdefault(peer, now)
+            send_fn(peer, heartbeat)
+            if peer not in last_seen:
+                last_seen[peer] = now
         self._check_peers()
         self.sim.schedule(self.config.period, self._tick, tag=f"{self.address}:hb")
 
@@ -111,15 +127,16 @@ class HeartbeatMonitor:
     def _check_peers(self) -> None:
         deadline = self.config.period * self.config.misses_before_eviction
         now = self.sim.now
-        current_peers = set(self.peers_fn())
-        for peer in list(self.last_seen):
+        current_peers = self._peer_set
+        suspected = self.suspected
+        for peer, seen_at in list(self.last_seen.items()):
             if peer not in current_peers:
                 self.forget(peer)
                 continue
-            if peer in self.suspected:
+            if peer in suspected:
                 continue
-            if now - self.last_seen[peer] > deadline:
-                self.suspected.add(peer)
+            if now - seen_at > deadline:
+                suspected.add(peer)
                 self.sim.metrics.increment("group.evictions_proposed")
                 self.suspect_fn(peer)
 

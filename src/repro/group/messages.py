@@ -10,11 +10,23 @@ The messenger also implements the *message digest* optimisation of section
 5.1: only a majority of A's nodes send the full payload, the remaining nodes
 send just a digest.  Digest copies count towards acceptance, but delivery to
 the upper layer happens only once a full copy is available.
+
+Hot-path layout (the m×m fan-out of every broadcast hop flows through here):
+
+* :meth:`GroupMessenger.send` builds ONE immutable envelope per gm-id and
+  ships per-destination copies of it through :meth:`Network.send_fanout` —
+  envelopes are read-only on the receive path, so the m destinations share
+  the same object instead of constructing m identical ones;
+* the full-copy-vs-digest decision is cached per own-view snapshot (views are
+  immutable, so identity is a sound cache key);
+* :meth:`GroupMessenger.handle` keeps ``__slots__`` accumulation state, drops
+  it on delivery, and dedups shares of already-accepted gm-ids with a single
+  O(1) set lookup.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.crypto.digest import digest_object
@@ -32,9 +44,15 @@ class NodeBinding:
     sim: Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupMessageEnvelope:
     """Node-level wire format of one share of a group message.
+
+    One envelope instance is shared by every destination of a burst (and by
+    every queued delivery): receivers treat it as read-only.  (``slots`` keeps
+    construction and field access on the m×m hot path cheap; the class is not
+    frozen because frozen dataclasses construct via ``object.__setattr__``,
+    which roughly doubles the per-envelope cost.)
 
     Attributes:
         gm_id: Identifier of the group message (same for all shares).
@@ -57,14 +75,17 @@ class GroupMessageEnvelope:
     sender_group_size: int
 
 
-@dataclass
 class _PendingGroupMessage:
     """Receiver-side accumulation state for one (gm_id, digest) pair."""
 
-    senders: Set[str] = field(default_factory=set)
-    full_payload: Optional[Any] = None
-    accepted: bool = False
-    delivered: bool = False
+    __slots__ = ("digest", "senders", "required", "full_payload", "accepted")
+
+    def __init__(self, digest: str, required: int) -> None:
+        self.digest = digest
+        self.senders: Set[str] = set()
+        self.required = required
+        self.full_payload: Optional[Any] = None
+        self.accepted = False
 
 
 class GroupMessenger:
@@ -91,14 +112,46 @@ class GroupMessenger:
         self.payload_bytes = payload_bytes
         self.digest_bytes = digest_bytes
         self.use_digest_optimization = use_digest_optimization
-        self._pending: Dict[Tuple[str, str], _PendingGroupMessage] = {}
+        # Accumulation state keyed by gm-id alone (the overwhelmingly common
+        # case: one digest per gm-id).  Shares carrying a *different* digest
+        # for an already-tracked gm-id — only Byzantine equivocation produces
+        # them — accumulate separately in ``_conflicting``, keyed by the full
+        # (gm_id, digest) pair, so they can never pollute the honest majority.
+        self._pending: Dict[str, _PendingGroupMessage] = {}
+        self._conflicting: Dict[Tuple[str, str], _PendingGroupMessage] = {}
+        self._delivered_gm_ids: Set[str] = set()
         self._gm_counter = 0
+        # Single-entry cache of the full-copy-vs-digest decision, keyed by the
+        # identity of the (immutable) own-view snapshot it was computed for.
+        self._send_full_view: Optional[VGroupView] = None
+        self._send_full = True
+        # Prebound hot-path handles.
+        self._send_fanout = binding.network.send_fanout
+        self._metrics_increment = binding.sim.metrics.increment
+        self._address = binding.address
 
     # ------------------------------------------------------------------ sending
 
     def next_gm_id(self, label: str = "gm") -> str:
         self._gm_counter += 1
         return f"{self.binding.address}/{label}/{self._gm_counter}"
+
+    def _sends_full_copy(self, own_view: VGroupView) -> bool:
+        """Whether this node sends full payloads under ``own_view``.
+
+        Digest optimisation: members are ordered deterministically; the first
+        majority sends the full payload, the rest send only the digest.
+        """
+        if own_view is self._send_full_view:
+            return self._send_full
+        members = own_view.members
+        address = self.binding.address
+        send_full = (not self.use_digest_optimization) or (
+            address in members[: majority_threshold(len(members))]
+        ) or (address not in members)
+        self._send_full_view = own_view
+        self._send_full = send_full
+        return send_full
 
     def send(
         self,
@@ -117,61 +170,83 @@ class GroupMessenger:
         own_view = self.own_view_fn()
         identifier = gm_id or self.next_gm_id(kind)
         digest = digest_object(payload)
-        size = payload_bytes if payload_bytes is not None else self.payload_bytes
+        send_full = self._sends_full_copy(own_view)
+        if send_full:
+            size = payload_bytes if payload_bytes is not None else self.payload_bytes
+        else:
+            payload = None
+            size = self.digest_bytes
 
-        # Digest optimisation: order members deterministically; the first
-        # majority sends the full payload, the rest send only the digest.
-        members = list(own_view.members)
-        full_senders = set(members[: majority_threshold(len(members))])
-        send_full = (not self.use_digest_optimization) or (
-            self.binding.address in full_senders
-        ) or (self.binding.address not in members)
-
-        burst = []
-        for destination in target_view.members:
-            envelope = GroupMessageEnvelope(
-                gm_id=identifier,
-                source_group=own_view.group_id,
-                source_epoch=own_view.epoch,
-                target_group=target_view.group_id,
-                kind=kind,
-                payload=payload if send_full else None,
-                digest=digest,
-                sender_group_size=own_view.size,
-            )
-            burst.append(
-                (destination, envelope, size if send_full else self.digest_bytes)
-            )
-        self.binding.network.send_burst(self.binding.address, burst)
-        self.binding.sim.metrics.increment("group.shares_sent", len(burst))
+        envelope = GroupMessageEnvelope(
+            gm_id=identifier,
+            source_group=own_view.group_id,
+            source_epoch=own_view.epoch,
+            target_group=target_view.group_id,
+            kind=kind,
+            payload=payload,
+            digest=digest,
+            sender_group_size=own_view.size,
+        )
+        members = target_view.members
+        self._send_fanout(self._address, members, envelope, size)
+        self._metrics_increment("group.shares_sent", len(members))
         return identifier
 
     # ---------------------------------------------------------------- receiving
 
     def handle(self, envelope: GroupMessageEnvelope, sender: str) -> None:
         """Process one share of a group message arriving from ``sender``."""
-        key = (envelope.gm_id, envelope.digest)
-        state = self._pending.setdefault(key, _PendingGroupMessage())
-        if state.delivered:
+        gm_id = envelope.gm_id
+        if gm_id in self._delivered_gm_ids:
             return
-        state.senders.add(sender)
-        if envelope.payload is not None and state.full_payload is None:
-            state.full_payload = envelope.payload
+        digest = envelope.digest
+        pending = self._pending
+        state = pending.get(gm_id)
+        if state is None:
+            size = envelope.sender_group_size
+            state = pending[gm_id] = _PendingGroupMessage(
+                digest, (size if size > 1 else 1) // 2 + 1
+            )
+        elif state.digest != digest:
+            # Equivocation: a share whose digest disagrees with the tracked
+            # one accumulates in its own (gm_id, digest) bucket.
+            key = (gm_id, digest)
+            state = self._conflicting.get(key)
+            if state is None:
+                size = envelope.sender_group_size
+                state = self._conflicting[key] = _PendingGroupMessage(
+                    digest, (size if size > 1 else 1) // 2 + 1
+                )
+        senders = state.senders
+        senders.add(sender)
+        payload = envelope.payload
+        if payload is not None and state.full_payload is None:
+            state.full_payload = payload
 
-        required = majority_threshold(max(1, envelope.sender_group_size))
-        if len(state.senders) >= required:
+        if not state.accepted and len(senders) >= state.required:
             state.accepted = True
-        if state.accepted and state.full_payload is not None and not state.delivered:
-            state.delivered = True
-            self.binding.sim.metrics.increment("group.messages_accepted")
+        if state.accepted and state.full_payload is not None:
+            # Accepted with a full copy available: deliver exactly once, then
+            # retire the accumulation state — later shares of this gm-id short
+            # circuit on the O(1) delivered-set lookup above.
+            self._delivered_gm_ids.add(gm_id)
+            pending.pop(gm_id, None)
+            if self._conflicting:
+                # Retire every equivocating bucket of this gm-id too, or they
+                # would linger forever (the delivered-set short-circuits all
+                # future shares).  Only populated under Byzantine
+                # equivocation, so the scan is effectively free.
+                for key in [k for k in self._conflicting if k[0] == gm_id]:
+                    del self._conflicting[key]
+            self._metrics_increment("group.messages_accepted")
             self.on_accept(
-                envelope.kind, state.full_payload, envelope.source_group, envelope.gm_id
+                envelope.kind, state.full_payload, envelope.source_group, gm_id
             )
 
     # ----------------------------------------------------------------- queries
 
     def pending_count(self) -> int:
-        return sum(1 for state in self._pending.values() if not state.delivered)
+        return len(self._pending) + len(self._conflicting)
 
 
 __all__ = ["GroupMessenger", "GroupMessageEnvelope", "NodeBinding"]

@@ -22,6 +22,11 @@ from typing import Dict, Optional, Sequence, Tuple
 class LatencyModel(abc.ABC):
     """Samples a one-way network latency (seconds) for a sender/receiver pair."""
 
+    #: When not ``None``, every sample equals this value and consumes no
+    #: randomness; the network's burst fast path reads it once per burst and
+    #: skips the per-message ``sample`` call.
+    constant_latency: Optional[float] = None
+
     @abc.abstractmethod
     def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
         """Return a latency sample in seconds."""
@@ -32,6 +37,10 @@ class FixedLatency(LatencyModel):
     """A constant latency; useful in unit tests for exact timing assertions."""
 
     latency: float = 0.001
+
+    @property
+    def constant_latency(self) -> Optional[float]:  # type: ignore[override]
+        return self.latency
 
     def sample(self, rng: random.Random, sender: str, receiver: str) -> float:
         return self.latency

@@ -14,9 +14,12 @@ protocol behaviour:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import partial
+from heapq import heappush
 from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.sim.events import Event
 
 from repro.net.latency import LatencyModel, LanProfile
 from repro.net.message import Message
@@ -43,6 +46,128 @@ class NetworkConfig:
     loss_probability: float = 0.0
     headers_bytes: int = 64
     randomized_send_order: bool = True
+    #: Batch same-time fan-out deliveries into one simulation event.  All
+    #: protocol-visible behaviour (delivery times, delivery order, callback
+    #: interleaving, figures) is provably identical to per-message events —
+    #: consecutive sequence numbers at one timestamp admit no interleaving —
+    #: but the ``(time, tag)`` event trace gets shorter, so runs with this
+    #: flag are not trace-comparable to runs without it.  Off by default to
+    #: keep golden traces stable; the protocol-speed benchmark enables it.
+    coalesced_fanout_delivery: bool = False
+
+
+class _Delivery(Event):
+    """A queued in-flight delivery: ONE slotted object per message.
+
+    Replaces the ``Message`` + ``functools.partial`` + ``Event`` triple on the
+    burst fast path: the object carries the wire fields, *is* the scheduled
+    event, and *is* its own callback (``callback = self``).  Semantics are
+    identical to :meth:`Network._deliver`.
+    """
+
+    __slots__ = ("network", "sender", "receiver", "payload", "sent_at")
+
+    # Shadow the parent's ``priority``/``tag``/``seq`` slots with class-level
+    # constants: every delivery shares the first two, and ``seq`` is only
+    # carried in the heap tuple, so per-instance stores would be pure
+    # overhead.  (They are read-only for deliveries; ``cancelled`` stays a
+    # real slot because ``cancel()`` writes it.)
+    priority = 0
+    tag = "net.deliver"
+    seq = -1
+
+    def __init__(
+        self,
+        time: float,
+        network: "Network",
+        sender: str,
+        receiver: str,
+        payload: Any,
+        sent_at: float,
+    ) -> None:
+        self.time = time
+        self.callback = self
+        self.cancelled = False
+        self.network = network
+        self.sender = sender
+        self.receiver = receiver
+        self.payload = payload
+        self.sent_at = sent_at
+
+    def __call__(self) -> None:
+        network = self.network
+        receiver = self.receiver
+        actor = network._actors.get(receiver)
+        counters = network._counters
+        if actor is None or not actor.alive:
+            counters["net.messages_undeliverable"] += 1.0
+            return
+        if receiver in network._partitioned:
+            counters["net.messages_partitioned"] += 1.0
+            return
+        counters["net.messages_delivered"] += 1.0
+        # ``self.time`` equals the simulator clock at delivery, saving the
+        # ``network.sim._now`` chain on every message.
+        network._delivery_latency.record(self.time - self.sent_at)
+        actor.on_message(self.payload, self.sender)
+
+
+class _FanoutDelivery(Event):
+    """One simulation event delivering a same-time slice of a fan-out burst.
+
+    Used only when :attr:`NetworkConfig.coalesced_fanout_delivery` is on.
+    Receivers are stored in batch order and delivered in that order, which is
+    exactly the order consecutive per-message events would have fired in (one
+    timestamp, consecutive sequence numbers — nothing can interleave).
+    """
+
+    __slots__ = ("network", "sender", "payload", "sent_at", "receivers")
+
+    priority = 0
+    tag = "net.deliver"
+    seq = -1
+
+    def __init__(
+        self,
+        time: float,
+        network: "Network",
+        sender: str,
+        payload: Any,
+        sent_at: float,
+        receivers: list,
+    ) -> None:
+        self.time = time
+        self.callback = self
+        self.cancelled = False
+        self.network = network
+        self.sender = sender
+        self.payload = payload
+        self.sent_at = sent_at
+        self.receivers = receivers
+
+    def __call__(self) -> None:
+        network = self.network
+        actors_get = network._actors.get
+        counters = network._counters
+        partitioned = network._partitioned
+        record = network._delivery_latency.record
+        latency = self.time - self.sent_at
+        payload = self.payload
+        sender = self.sender
+        delivered = 0
+        for receiver in self.receivers:
+            actor = actors_get(receiver)
+            if actor is None or not actor.alive:
+                counters["net.messages_undeliverable"] += 1.0
+                continue
+            if partitioned and receiver in partitioned:
+                counters["net.messages_partitioned"] += 1.0
+                continue
+            delivered += 1
+            record(latency)
+            actor.on_message(payload, sender)
+        if delivered:
+            counters["net.messages_delivered"] += float(delivered)
 
 
 class Network:
@@ -63,6 +188,11 @@ class Network:
         # Tracks when each receiving node's downlink frees up, used to model
         # queueing of large transfers at the receiver.
         self._downlink_free_at: Dict[str, float] = {}
+        # Hot-path handles: the burst pipeline updates counters and the
+        # delivery-latency histogram directly instead of going through the
+        # registry methods on every message.
+        self._counters = sim.metrics.counters
+        self._delivery_latency = sim.metrics.histogram("net.delivery_latency")
 
     # --------------------------------------------------------------- membership
 
@@ -132,35 +262,252 @@ class Network:
         Returns the number of messages actually dispatched (not dropped).
 
         Bursts are the dominant send pattern (every group message is a burst of
-        shares), so accounting is batched: one counter update for the whole
-        burst, then the per-message routing fast path.  The per-message RNG
-        draw order and scheduling order are identical to sequential
-        :meth:`send` calls, so simulations are trace-identical either way.
+        shares), so the whole routing pipeline is inlined here: batched counter
+        updates, then per message one latency sample, one downlink update and
+        one heap push of a slotted :class:`_Delivery` callback — no ``Message``
+        or ``partial`` objects.  The per-message RNG draw order, scheduling
+        arithmetic and event order are identical to sequential :meth:`send`
+        calls, so simulations are trace-identical either way.
         """
         batch = list(messages)
         if self.config.randomized_send_order:
             self._rng.shuffle(batch)
         if not batch:
             return 0
-        metrics = self.sim.metrics
-        metrics.increment("net.messages_sent", len(batch))
-        metrics.increment(
-            "net.bytes_sent", sum(size_bytes for _, _, size_bytes in batch)
-        )
-        now = self.sim.now
-        route = self._route
+        counters = self._counters
+        counters["net.messages_sent"] += float(len(batch))
+        sim = self.sim
+        now = sim._now
+        rng = self._rng
+        config = self.config
+        loss = config.loss_probability
+        headers = config.headers_bytes
+        bandwidth = config.bandwidth_bytes_per_s
+        partitioned = self._partitioned
+        sender_partitioned = bool(partitioned) and sender in partitioned
+        check_partition = bool(partitioned)
+        latency_model = self.latency_model
+        constant_latency = latency_model.constant_latency
+        sample = latency_model.sample
+        downlink = self._downlink_free_at
+        downlink_get = downlink.get
+        queue = sim.queue
+        heap = queue._heap
+        seq = queue._seq
         dispatched = 0
-        for receiver, payload, size_bytes in batch:
-            message = Message(
-                sender=sender,
-                receiver=receiver,
-                payload=payload,
-                size_bytes=size_bytes,
-                sent_at=now,
-            )
-            if route(message) is not None:
+        total_bytes = 0
+        # Float arithmetic below mirrors _route() + Simulator.schedule()
+        # exactly (including the delay round-trip), keeping event times
+        # bit-identical to the pre-batching path.
+        if not check_partition and loss == 0.0 and constant_latency is not None:
+            # Tight loop for the dominant case: healthy network, constant
+            # latency model — no per-message drop checks or samples.
+            propagated = now + constant_latency
+            for receiver, payload, size_bytes in batch:
+                total_bytes += size_bytes
+                arrival_start = propagated
+                free_at = downlink_get(receiver, 0.0)
+                if free_at > arrival_start:
+                    arrival_start = free_at
+                delivery_time = arrival_start + (size_bytes + headers) / bandwidth
+                downlink[receiver] = delivery_time
+                scheduled = now + (delivery_time - now)
+                event = _Delivery(scheduled, self, sender, receiver, payload, now)
+                heappush(heap, (scheduled, 0, seq, event))
+                seq += 1
+            dispatched = len(batch)
+        else:
+            for receiver, payload, size_bytes in batch:
+                total_bytes += size_bytes
+                if check_partition and (sender_partitioned or receiver in partitioned):
+                    counters["net.messages_partitioned"] += 1.0
+                    continue
+                if loss > 0.0 and rng.random() < loss:
+                    counters["net.messages_lost"] += 1.0
+                    continue
+                propagation = (
+                    constant_latency
+                    if constant_latency is not None
+                    else sample(rng, sender, receiver)
+                )
+                arrival_start = now + propagation
+                free_at = downlink_get(receiver, 0.0)
+                if free_at > arrival_start:
+                    arrival_start = free_at
+                delivery_time = arrival_start + (size_bytes + headers) / bandwidth
+                downlink[receiver] = delivery_time
+                scheduled = now + (delivery_time - now)
+                event = _Delivery(scheduled, self, sender, receiver, payload, now)
+                heappush(heap, (scheduled, 0, seq, event))
+                seq += 1
                 dispatched += 1
+        counters["net.bytes_sent"] += float(total_bytes)
+        queue._seq = seq
+        queue._live += dispatched
         return dispatched
+
+    def send_fanout(
+        self,
+        sender: str,
+        receivers: Iterable[str],
+        payload: Any,
+        size_bytes: int,
+    ) -> int:
+        """Send the same ``payload``/``size_bytes`` to every receiver.
+
+        The m-destination group-message fan-out is the hottest send shape, and
+        sharing the payload lets the whole per-destination tuple machinery of
+        :meth:`send_burst` disappear: one shuffled receiver list, one transfer
+        time computed for the burst, one slotted delivery object per receiver.
+        RNG draws (shuffle permutation, loss draws), float arithmetic and
+        event order are identical to the equivalent :meth:`send_burst` call.
+        """
+        config = self.config
+        if config.randomized_send_order:
+            batch = list(receivers)
+            self._rng.shuffle(batch)
+        elif isinstance(receivers, (list, tuple)):
+            batch = receivers
+        else:
+            batch = list(receivers)
+        if not batch:
+            return 0
+        counters = self._counters
+        count = len(batch)
+        counters["net.messages_sent"] += float(count)
+        counters["net.bytes_sent"] += float(size_bytes * count)
+        sim = self.sim
+        now = sim._now
+        partitioned = self._partitioned
+        loss = config.loss_probability
+        constant_latency = self.latency_model.constant_latency
+        downlink = self._downlink_free_at
+        downlink_get = downlink.get
+        queue = sim.queue
+        heap = queue._heap
+        seq = queue._seq
+        transfer = (size_bytes + config.headers_bytes) / config.bandwidth_bytes_per_s
+        dispatched = 0
+        if not partitioned and loss == 0.0 and constant_latency is not None:
+            propagated = now + constant_latency
+            if config.coalesced_fanout_delivery:
+                # Bucket consecutive same-delivery-time receivers into one
+                # event each.  Bucketing by run keeps delivery order
+                # identical to per-message events (see _FanoutDelivery).
+                bucket_time = None
+                bucket: Optional[list] = None
+                for receiver in batch:
+                    arrival_start = downlink_get(receiver, 0.0)
+                    if arrival_start < propagated:
+                        arrival_start = propagated
+                    delivery_time = arrival_start + transfer
+                    downlink[receiver] = delivery_time
+                    if delivery_time == bucket_time:
+                        bucket.append(receiver)
+                        continue
+                    scheduled = now + (delivery_time - now)
+                    bucket = [receiver]
+                    bucket_time = delivery_time
+                    event = _FanoutDelivery(scheduled, self, sender, payload, now, bucket)
+                    heappush(heap, (scheduled, 0, seq, event))
+                    seq += 1
+            else:
+                # Tight loop for the dominant case: healthy network, constant
+                # latency — one attribute-free pass per receiver.
+                for receiver in batch:
+                    arrival_start = downlink_get(receiver, 0.0)
+                    if arrival_start < propagated:
+                        arrival_start = propagated
+                    delivery_time = arrival_start + transfer
+                    downlink[receiver] = delivery_time
+                    scheduled = now + (delivery_time - now)
+                    event = _Delivery(scheduled, self, sender, receiver, payload, now)
+                    heappush(heap, (scheduled, 0, seq, event))
+                    seq += 1
+            dispatched = count
+        else:
+            rng = self._rng
+            sample = self.latency_model.sample
+            sender_partitioned = bool(partitioned) and sender in partitioned
+            check_partition = bool(partitioned)
+            for receiver in batch:
+                if check_partition and (sender_partitioned or receiver in partitioned):
+                    counters["net.messages_partitioned"] += 1.0
+                    continue
+                if loss > 0.0 and rng.random() < loss:
+                    counters["net.messages_lost"] += 1.0
+                    continue
+                propagation = (
+                    constant_latency
+                    if constant_latency is not None
+                    else sample(rng, sender, receiver)
+                )
+                arrival_start = now + propagation
+                free_at = downlink_get(receiver, 0.0)
+                if free_at > arrival_start:
+                    arrival_start = free_at
+                delivery_time = arrival_start + transfer
+                downlink[receiver] = delivery_time
+                scheduled = now + (delivery_time - now)
+                event = _Delivery(scheduled, self, sender, receiver, payload, now)
+                heappush(heap, (scheduled, 0, seq, event))
+                seq += 1
+                dispatched += 1
+        # seq advanced once per pushed event (coalesced buckets push fewer
+        # events than messages), so the live count follows the seq delta.
+        queue._live += seq - queue._seq
+        queue._seq = seq
+        return dispatched
+
+    def send_one(
+        self,
+        sender: str,
+        receiver: str,
+        payload: Any,
+        size_bytes: int = 256,
+    ) -> bool:
+        """Fire-and-forget single send on the burst fast path.
+
+        Identical semantics (accounting, routing arithmetic, event structure)
+        to :meth:`send`, but skips building the :class:`Message` handle; use it
+        on hot paths that ignore :meth:`send`'s return value (heartbeats).
+        """
+        counters = self._counters
+        counters["net.messages_sent"] += 1.0
+        counters["net.bytes_sent"] += float(size_bytes)
+        partitioned = self._partitioned
+        if partitioned and (sender in partitioned or receiver in partitioned):
+            counters["net.messages_partitioned"] += 1.0
+            return False
+        config = self.config
+        loss = config.loss_probability
+        rng = self._rng
+        if loss > 0.0 and rng.random() < loss:
+            counters["net.messages_lost"] += 1.0
+            return False
+        sim = self.sim
+        now = sim._now
+        latency_model = self.latency_model
+        constant_latency = latency_model.constant_latency
+        propagation = (
+            constant_latency
+            if constant_latency is not None
+            else latency_model.sample(rng, sender, receiver)
+        )
+        arrival_start = now + propagation
+        free_at = self._downlink_free_at.get(receiver, 0.0)
+        if free_at > arrival_start:
+            arrival_start = free_at
+        delivery_time = arrival_start + (size_bytes + config.headers_bytes) / config.bandwidth_bytes_per_s
+        self._downlink_free_at[receiver] = delivery_time
+        scheduled = now + (delivery_time - now)
+        queue = sim.queue
+        seq = queue._seq
+        event = _Delivery(scheduled, self, sender, receiver, payload, now)
+        heappush(queue._heap, (scheduled, 0, seq, event))
+        queue._seq = seq + 1
+        queue._live += 1
+        return True
 
     # ----------------------------------------------------------------- internals
 

@@ -11,10 +11,19 @@ provides the standard policies discussed in the paper:
 * :func:`random_policy` -- classic gossip: forward to a random subset of
   neighbours, while always including one deterministic cycle so that the
   probabilistic delivery of gossip becomes deterministic (section 3.2).
+
+Policies run once per (vgroup, message) hop, so they lean on the H-graph's
+cached per-vertex neighbour tables instead of rebuilding neighbour lists per
+message, and they derive cycle subsets from a **cached stable hash** of the
+message id (Python's builtin ``hash`` is salted per process; the previous
+``sum(ord(ch))`` derivation clustered similar gm-ids onto the same cycle).
+The pre-PR derivations remain available behind ``legacy_hash`` /
+``legacy_shuffle`` flags for golden-trace replay and A/B experiments.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Callable, List, Sequence, Set, Tuple
 
@@ -24,12 +33,49 @@ from repro.overlay.hgraph import HGraph
 #: of neighbour vgroups to forward to.
 ForwardPolicy = Callable[[HGraph, str, str, random.Random], List[str]]
 
+#: Bound on the message-id hash memos (message ids repeat for every hop of a
+#: dissemination, then die; a full reset simply re-hashes the live ids).
+_HASH_CACHE_LIMIT = 8192
+
+_stable_hash_cache: dict = {}
+_legacy_hash_cache: dict = {}
+
+
+def stable_message_hash(message_id: str) -> int:
+    """A process-independent, well-spread hash of a message id (cached).
+
+    SHA-256 based, so ids that differ by one character land on unrelated
+    cycles (``sum(ord(ch))`` mapped e.g. ``"gm-12"`` and ``"gm-21"`` to the
+    same cycle); sessions and processes always agree on the value.
+    """
+    value = _stable_hash_cache.get(message_id)
+    if value is None:
+        if len(_stable_hash_cache) >= _HASH_CACHE_LIMIT:
+            _stable_hash_cache.clear()
+        value = int.from_bytes(
+            hashlib.sha256(message_id.encode("utf-8")).digest()[:8], "big"
+        )
+        _stable_hash_cache[message_id] = value
+    return value
+
+
+def _legacy_message_hash(message_id: str) -> int:
+    """The pre-PR ``sum(ord(ch))`` derivation (kept for golden-trace replay)."""
+    value = _legacy_hash_cache.get(message_id)
+    if value is None:
+        if len(_legacy_hash_cache) >= _HASH_CACHE_LIMIT:
+            _legacy_hash_cache.clear()
+        value = sum(ord(ch) for ch in message_id)
+        _legacy_hash_cache[message_id] = value
+    return value
+
 
 def _cycle_neighbors(graph: HGraph, vertex: str, cycles: Sequence[int]) -> List[str]:
     neighbors: List[str] = []
     seen: Set[str] = set()
+    pairs = graph.cycle_pairs(vertex)
     for cycle in cycles:
-        for neighbor in graph.cycle_neighbors(vertex, cycle):
+        for neighbor in pairs[cycle]:
             if neighbor != vertex and neighbor not in seen:
                 seen.add(neighbor)
                 neighbors.append(neighbor)
@@ -38,49 +84,119 @@ def _cycle_neighbors(graph: HGraph, vertex: str, cycles: Sequence[int]) -> List[
 
 def flood_policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
     """Forward to every neighbour on every cycle (latency-optimal)."""
-    return _cycle_neighbors(graph, vertex, range(graph.hc))
+    return list(graph.gossip_neighbors(vertex))
 
 
-def cycles_policy(count: int) -> ForwardPolicy:
-    """Forward along the first ``count`` cycles only (throughput-friendly).
+def cycles_policy(count: int, legacy_hash: bool = False) -> ForwardPolicy:
+    """Forward along ``count`` consecutive cycles only (throughput-friendly).
 
-    The cycle subset is deterministic (derived from the message id) so that
-    every vgroup uses the same cycles for a given stream, which is what keeps
-    delivery deterministic.
+    The cycle subset is deterministic (derived from a stable hash of the
+    message id) so that every vgroup uses the same cycles for a given stream,
+    which is what keeps delivery deterministic.  ``legacy_hash=True`` selects
+    the pre-PR ``sum(ord(ch))`` derivation for golden-trace replay.
+
+    Forward lists are memoised per (vertex, starting cycle) in the graph's
+    per-vertex derived cache, which topology mutations invalidate.
     """
+    hash_fn = _legacy_message_hash if legacy_hash else stable_message_hash
 
     def policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
-        usable = min(count, graph.hc)
-        # Derive a stable starting cycle from the message id so different
-        # streams spread over different cycles.
-        start = sum(ord(ch) for ch in message_id) % graph.hc
-        cycles = [(start + offset) % graph.hc for offset in range(usable)]
-        return _cycle_neighbors(graph, vertex, cycles)
+        hc = graph.hc
+        usable = min(count, hc)
+        start = hash_fn(message_id) % hc
+        derived = graph.derived_cache(vertex)
+        key = ("cycles", usable, start)
+        cached = derived.get(key)
+        if cached is None:
+            cycles = [(start + offset) % hc for offset in range(usable)]
+            cached = derived[key] = tuple(_cycle_neighbors(graph, vertex, cycles))
+        return list(cached)
 
     return policy
+
+
+#: Shared single-cycle policy instance so its per-vertex memos are reused.
+_single_cycle = cycles_policy(1)
 
 
 def single_cycle_policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
     """Forward along a single cycle (the ``Single`` configuration of AStream)."""
-    return cycles_policy(1)(graph, vertex, message_id, rng)
+    return _single_cycle(graph, vertex, message_id, rng)
 
 
-def random_policy(fanout: int = 2, guaranteed_cycle: int = 0) -> ForwardPolicy:
+def random_policy(
+    fanout: int = 2, guaranteed_cycle: int = 0, legacy_shuffle: bool = False
+) -> ForwardPolicy:
     """Classic gossip: ``fanout`` random neighbours plus one guaranteed cycle.
 
     Forwarding always includes both neighbours on ``guaranteed_cycle``; this is
     the mechanism by which Atum turns gossip's probabilistic delivery guarantee
-    into a deterministic one (every vgroup gossips at least with its neighbours
-    on a specific cycle, so the message traverses that whole cycle).
+    into a deterministic one: every vgroup gossips at least with its
+    neighbours on a specific cycle, so the message deterministically traverses
+    that whole cycle regardless of the random draws — even a "maximally
+    unlucky" RNG cannot prevent delivery (section 3.2).
+
+    The random subset is drawn with a single ``rng.sample`` over the vertex's
+    cached, deterministically ordered neighbour list, so two runs with the
+    same seed pick identical forward sets on every interpreter (the pre-PR
+    implementation shuffled a ``set``-ordered list, which made the picks
+    depend on Python's per-process hash salt).  ``legacy_shuffle=True``
+    reproduces the old shuffle-and-slice draw behaviour — note that even then
+    the candidate order is the cached deterministic one, not the historical
+    hash-salted set order.
     """
 
     def policy(graph: HGraph, vertex: str, message_id: str, rng: random.Random) -> List[str]:
-        guaranteed = _cycle_neighbors(graph, vertex, [guaranteed_cycle % graph.hc])
-        others = [n for n in graph.neighbors(vertex) if n not in guaranteed]
-        rng.shuffle(others)
-        return guaranteed + others[:fanout]
+        derived = graph.derived_cache(vertex)
+        key = ("random", guaranteed_cycle)
+        cached = derived.get(key)
+        if cached is None:
+            gc = guaranteed_cycle % graph.hc
+            guaranteed = _cycle_neighbors(graph, vertex, [gc])
+            others = [n for n in graph.gossip_neighbors(vertex) if n not in guaranteed]
+            cached = derived[key] = (guaranteed, others)
+        guaranteed, others = cached
+        if legacy_shuffle:
+            pool = list(others)
+            rng.shuffle(pool)
+            return guaranteed + pool[:fanout]
+        if fanout >= len(others):
+            return guaranteed + list(others)
+        return guaranteed + rng.sample(others, fanout)
 
     return policy
+
+
+def dissemination_trace(
+    graph: HGraph,
+    origin: str,
+    policy: ForwardPolicy,
+    rng: random.Random,
+    message_id: str = "m",
+    max_rounds: int = 1000,
+) -> List[List[Tuple[str, List[str]]]]:
+    """Round-by-round forwarding trace: one ``(vertex, targets)`` row per hop.
+
+    Frontier vertices are visited in sorted order, so both the trace and any
+    randomness the policy consumes are reproducible across processes — this is
+    what the golden dissemination-trace tests serialize and replay.
+    """
+    reached: Set[str] = {origin}
+    frontier: List[str] = [origin]
+    rounds: List[List[Tuple[str, List[str]]]] = []
+    while frontier and len(reached) < len(graph) and len(rounds) < max_rounds:
+        row: List[Tuple[str, List[str]]] = []
+        fresh: Set[str] = set()
+        for vertex in frontier:
+            targets = policy(graph, vertex, message_id, rng)
+            row.append((vertex, list(targets)))
+            for neighbor in targets:
+                if neighbor not in reached:
+                    reached.add(neighbor)
+                    fresh.add(neighbor)
+        frontier = sorted(fresh)
+        rounds.append(row)
+    return rounds
 
 
 def dissemination_rounds(
@@ -114,9 +230,11 @@ def dissemination_rounds(
 
 __all__ = [
     "ForwardPolicy",
+    "stable_message_hash",
     "flood_policy",
     "cycles_policy",
     "single_cycle_policy",
     "random_policy",
     "dissemination_rounds",
+    "dissemination_trace",
 ]

@@ -16,16 +16,42 @@ structure supports the three mutations the membership protocols need:
   predecessor and successor (used when vgroups merge);
 * :meth:`HGraph.bootstrap` -- the single-vertex graph where the vertex is its
   own neighbour on every cycle (the state after ``bootstrap()``).
+
+Neighbour queries are on the per-hop hot path of gossip and random walks, so
+the graph maintains a lazily built **per-vertex neighbour table** (cycle
+pairs, incident links, gossip-ordered neighbour list) plus a per-vertex
+scratch cache for policy-derived data.  Mutations invalidate only the
+affected vertices and bump :attr:`HGraph.topology_version`, which consumers
+can use to stamp their own derived caches.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 
 class HGraphError(ValueError):
     """Raised on invalid H-graph mutations (unknown vertices, bad cycles)."""
+
+
+class _VertexTable:
+    """Cached neighbour views of one vertex (invalidated on topology change)."""
+
+    __slots__ = ("pairs", "links", "gossip", "derived")
+
+    def __init__(
+        self,
+        pairs: Tuple[Tuple[str, str], ...],
+        links: Tuple[Tuple[int, str], ...],
+        gossip: Tuple[str, ...],
+    ) -> None:
+        self.pairs = pairs
+        self.links = links
+        self.gossip = gossip
+        #: Scratch space for consumers (gossip policies) to cache data derived
+        #: from this vertex's neighbourhood; dropped with the table.
+        self.derived: Dict[Any, Any] = {}
 
 
 class HGraph:
@@ -39,6 +65,8 @@ class HGraph:
         self._succ: List[Dict[str, str]] = [dict() for _ in range(cycles)]
         self._pred: List[Dict[str, str]] = [dict() for _ in range(cycles)]
         self._vertices: Set[str] = set()
+        self._tables: Dict[str, _VertexTable] = {}
+        self._version = 0
 
     # ------------------------------------------------------------- construction
 
@@ -74,6 +102,11 @@ class HGraph:
     def vertices(self) -> Set[str]:
         return set(self._vertices)
 
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter bumped by every mutation (for derived caches)."""
+        return self._version
+
     def __contains__(self, vertex: str) -> bool:
         return vertex in self._vertices
 
@@ -90,34 +123,73 @@ class HGraph:
 
     def cycle_neighbors(self, vertex: str, cycle: int) -> Tuple[str, str]:
         """The (predecessor, successor) pair of ``vertex`` on ``cycle``."""
-        return self.predecessor(vertex, cycle), self.successor(vertex, cycle)
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
+        return table.pairs[cycle]
+
+    def cycle_pairs(self, vertex: str) -> Tuple[Tuple[str, str], ...]:
+        """All per-cycle (predecessor, successor) pairs of ``vertex``, cached."""
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
+        return table.pairs
 
     def neighbors(self, vertex: str) -> Set[str]:
-        """All neighbours of ``vertex`` across every cycle (excluding itself)."""
-        self._check_vertex(vertex)
+        """All neighbours of ``vertex`` across every cycle (excluding itself).
+
+        Returns a fresh mutable set built in the same insertion order as the
+        pre-cache implementation (successor then predecessor, cycle by cycle),
+        so downstream set-iteration behaviour is unchanged.
+        """
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
         result: Set[str] = set()
-        for cycle in range(self.hc):
-            result.add(self._succ[cycle][vertex])
-            result.add(self._pred[cycle][vertex])
+        for _cycle, neighbor in table.links:
+            result.add(neighbor)
         result.discard(vertex)
         return result
 
-    def incident_links(self, vertex: str) -> List[Tuple[int, str]]:
+    def gossip_neighbors(self, vertex: str) -> Tuple[str, ...]:
+        """Deduplicated neighbours in gossip order, excluding ``vertex`` itself.
+
+        Gossip order is (predecessor, successor) per cycle, cycle by cycle —
+        the order :func:`repro.overlay.gossip.flood_policy` has always
+        forwarded in.  The tuple is cached until the topology changes.
+        """
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
+        return table.gossip
+
+    def incident_links(self, vertex: str) -> Tuple[Tuple[int, str], ...]:
         """All (cycle, neighbour) links of ``vertex``, including duplicates.
 
         Random walks pick uniformly among incident links, so a neighbour
         reachable through several cycles is proportionally more likely --
         matching a walk on the multigraph rather than on the simple graph.
+        The returned tuple is cached until the topology changes.
         """
-        self._check_vertex(vertex)
-        links: List[Tuple[int, str]] = []
-        for cycle in range(self.hc):
-            links.append((cycle, self._succ[cycle][vertex]))
-            links.append((cycle, self._pred[cycle][vertex]))
-        return links
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
+        return table.links
 
     def degree(self, vertex: str) -> int:
         return len(self.incident_links(vertex))
+
+    def derived_cache(self, vertex: str) -> Dict[Any, Any]:
+        """Per-vertex scratch cache invalidated together with the vertex.
+
+        Gossip policies use it to memoise forward lists derived from the
+        vertex's neighbourhood; entries disappear whenever a mutation touches
+        the vertex, so consumers never observe stale topology.
+        """
+        table = self._tables.get(vertex)
+        if table is None:
+            table = self._build_table(vertex)
+        return table.derived
 
     # ---------------------------------------------------------------- mutations
 
@@ -129,6 +201,7 @@ class HGraph:
         for cycle in range(self.hc):
             self._succ[cycle][vertex] = vertex
             self._pred[cycle][vertex] = vertex
+        self._version += 1
 
     def insert_after(self, new_vertex: str, after: str, cycle: int) -> None:
         """Insert ``new_vertex`` between ``after`` and its successor on ``cycle``."""
@@ -141,6 +214,11 @@ class HGraph:
         self._pred[cycle][successor] = new_vertex
         self._pred[cycle][new_vertex] = after
         self._vertices.add(new_vertex)
+        self._version += 1
+        tables = self._tables
+        tables.pop(after, None)
+        tables.pop(successor, None)
+        tables.pop(new_vertex, None)
 
     def insert_vertex(self, new_vertex: str, after_per_cycle: Sequence[str]) -> None:
         """Insert ``new_vertex`` into every cycle, after the given vertices."""
@@ -156,6 +234,7 @@ class HGraph:
         self._check_vertex(vertex)
         if len(self._vertices) == 1:
             raise HGraphError("cannot remove the last vertex of the overlay")
+        tables = self._tables
         for cycle in range(self.hc):
             predecessor = self._pred[cycle][vertex]
             successor = self._succ[cycle][vertex]
@@ -164,7 +243,11 @@ class HGraph:
             self._pred[cycle][successor] = predecessor
             del self._succ[cycle][vertex]
             del self._pred[cycle][vertex]
+            tables.pop(predecessor, None)
+            tables.pop(successor, None)
         self._vertices.discard(vertex)
+        tables.pop(vertex, None)
+        self._version += 1
 
     # --------------------------------------------------------------- validation
 
@@ -213,6 +296,30 @@ class HGraph:
         return depth
 
     # ------------------------------------------------------------------ helpers
+
+    def _build_table(self, vertex: str) -> _VertexTable:
+        self._check_vertex(vertex)
+        pairs: List[Tuple[str, str]] = []
+        links: List[Tuple[int, str]] = []
+        gossip: List[str] = []
+        seen: Set[str] = set()
+        for cycle in range(self.hc):
+            successor = self._succ[cycle][vertex]
+            predecessor = self._pred[cycle][vertex]
+            pairs.append((predecessor, successor))
+            links.append((cycle, successor))
+            links.append((cycle, predecessor))
+            # Gossip order: predecessor before successor, matching the
+            # pre-cache flood forwarding order.
+            if predecessor != vertex and predecessor not in seen:
+                seen.add(predecessor)
+                gossip.append(predecessor)
+            if successor != vertex and successor not in seen:
+                seen.add(successor)
+                gossip.append(successor)
+        table = _VertexTable(tuple(pairs), tuple(links), tuple(gossip))
+        self._tables[vertex] = table
+        return table
 
     def _check_vertex(self, vertex: str) -> None:
         if vertex not in self._vertices:

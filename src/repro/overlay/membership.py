@@ -110,6 +110,12 @@ class MembershipEngine:
         self.groups: Dict[str, VGroupView] = {}
         self.node_group: Dict[str, str] = {}
         self.graph: Optional[HGraph] = None
+        # Indexed view of ``groups``: the group ids in creation order (dict
+        # insertion order minus removals — removals never re-add ids, so this
+        # list always equals ``list(self.groups)``).  Hot paths that used to
+        # rebuild that list per random draw (walk relays, walk fallbacks,
+        # contact selection) index into it directly instead.
+        self._group_ids: List[str] = []
 
         self._busy_until: Dict[str, float] = {}
         self._relay_busy_until: Dict[str, float] = {}
@@ -187,6 +193,7 @@ class MembershipEngine:
         group_id = self._new_group_id()
         view = VGroupView.create(group_id, [node])
         self.groups[group_id] = view
+        self._group_ids.append(group_id)
         self.node_group[node] = group_id
         self.graph = HGraph.bootstrap(group_id, self.config.hc)
         self._notify_view(view)
@@ -219,9 +226,10 @@ class MembershipEngine:
             group_id = self._new_group_id()
             view = VGroupView.create(group_id, chunk)
             self.groups[group_id] = view
+            self._group_ids.append(group_id)
             for member in chunk:
                 self.node_group[member] = group_id
-        self.graph = HGraph.random(list(self.groups), self.config.hc, self._rng)
+        self.graph = HGraph.random(list(self._group_ids), self.config.hc, self._rng)
         for view in self.groups.values():
             self._notify_view(view)
         self._record_size()
@@ -243,7 +251,7 @@ class MembershipEngine:
         if contact_node is not None and contact_node in self.node_group:
             contact_group = self.node_group[contact_node]
         else:
-            contact_group = self._rng.choice(list(self.groups))
+            contact_group = self._rng.choice(self._group_ids)
         op_id = f"join-{next(self._op_counter)}"
         self._pending_ops[op_id] = _OperationStats(kind="join", node=node, started_at=self.sim.now)
         self.sim.metrics.increment("membership.joins_started")
@@ -470,6 +478,7 @@ class MembershipEngine:
         new_view = VGroupView.create(new_group_id, moving)
         reduced_view = view.with_members(staying)
         self.groups[new_group_id] = new_view
+        self._group_ids.append(new_group_id)
         self._install_view(reduced_view)
         for member in moving:
             self.node_group[member] = new_group_id
@@ -523,7 +532,7 @@ class MembershipEngine:
         """
         if not self.groups:
             return
-        group_ids = list(self.groups)
+        group_ids = self._group_ids
         group_size = max(1, int(round(self.average_group_size())))
         occupancy = self.cost.walk_relay_occupancy(group_size)
         if occupancy <= 0:
@@ -573,19 +582,19 @@ class MembershipEngine:
             return group_id
         if not self.groups:
             return None
-        return self._rng.choice(list(self.groups))
+        return self._rng.choice(self._group_ids)
 
     def _walk_select(self, start_group: str) -> Optional[str]:
         """Select a vgroup via a structural random walk from ``start_group``."""
         if self.graph is None or not self.groups:
             return None
-        start = start_group if start_group in self.groups else self._rng.choice(list(self.groups))
+        start = start_group if start_group in self.groups else self._rng.choice(self._group_ids)
         if len(self.groups) == 1:
             return start
         outcome = structural_walk(self.graph, start, self.config.rwl, self._rng)
         selected = outcome.selected
         if selected not in self.groups:
-            return self._rng.choice(list(self.groups))
+            return self._rng.choice(self._group_ids)
         return selected
 
     def _install_view(self, view: VGroupView) -> None:
@@ -597,6 +606,8 @@ class MembershipEngine:
             self.on_view_changed(view)
 
     def _remove_group(self, group_id: str) -> None:
+        if group_id in self.groups:
+            self._group_ids.remove(group_id)
         self.groups.pop(group_id, None)
         self._busy_until.pop(group_id, None)
         self._relay_busy_until.pop(group_id, None)

@@ -14,7 +14,13 @@ class Actor:
     Actors receive messages through :meth:`on_message` (delivered by a
     :class:`repro.net.network.Network`) and can set named timers.  Concrete
     protocols subclass ``Actor`` and dispatch on the message payload type.
+
+    The base attributes are slotted because ``alive`` is read on every
+    message delivery; subclasses may still add arbitrary attributes (they
+    get a ``__dict__`` of their own unless they declare ``__slots__`` too).
     """
+
+    __slots__ = ("sim", "address", "_timers", "alive", "__dict__")
 
     def __init__(self, sim: Simulator, address: str) -> None:
         self.sim = sim

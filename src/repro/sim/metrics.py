@@ -46,24 +46,14 @@ class Histogram:
             self.record_many(samples)
 
     def record(self, value: float) -> None:
-        # The sorted view is reconciled lazily in _sorted_view(), so the
-        # record hot path never touches it.  Values appended directly to
-        # ``samples`` must be folded in first, or their indices would be
-        # mistaken for this record's.
-        if self._acc_count != len(self.samples):
-            self._reconcile()
+        # Recording IS appending: all accumulator bookkeeping happens lazily
+        # in _reconcile() on the next query, which folds the appended tail in
+        # insertion order — so the statistics are bit-identical to eager
+        # accumulation, while the per-record hot path is a single append.
         self.samples.append(value)
-        self._acc_count += 1
-        self._last_acc = value
-        self._sum += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
 
     def record_many(self, values: Iterable[float]) -> None:
-        for value in values:
-            self.record(value)
+        self.samples.extend(values)
 
     def invalidate(self) -> None:
         """Force a full recompute after arbitrary mutation of ``samples``."""

@@ -133,29 +133,60 @@ class Simulator:
         # callbacks never mutate it, only this loop does.
         heap = self.queue._heap
         heappop = heapq.heappop
+        queue = self.queue
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                if max_events is not None and processed_this_run >= max_events:
-                    break
-                while heap and heap[0][3].cancelled:
-                    heappop(heap)
-                if not heap:
-                    self.queue._live = 0
-                    break
-                next_time = heap[0][0]
-                if until is not None and next_time > until:
-                    self._now = until
-                    break
-                event = heappop(heap)[3]
-                self.queue._live -= 1
-                self._now = next_time
-                if trace is not None:
-                    trace.append((next_time, event.tag))
-                event.callback()
-                self._processed += 1
-                processed_this_run += 1
+            if max_events is None and trace is None:
+                # Specialized hot loop for plain ``run(until=...)`` /
+                # ``run()`` calls: no per-event budget or trace checks, one
+                # heap-root peek per event, and the processed-event counter
+                # accumulates locally (flushed below).  Ordering and
+                # semantics are identical to the general loop.
+                has_until = until is not None
+                processed_local = 0
+                try:
+                    while not self._stop_requested:
+                        if not heap:
+                            queue._live = 0
+                            break
+                        entry = heap[0]
+                        event = entry[3]
+                        if event.cancelled:
+                            heappop(heap)
+                            continue
+                        next_time = entry[0]
+                        if has_until and next_time > until:
+                            self._now = until
+                            break
+                        heappop(heap)
+                        queue._live -= 1
+                        self._now = next_time
+                        event.callback()
+                        processed_local += 1
+                finally:
+                    self._processed += processed_local
+            else:
+                while True:
+                    if self._stop_requested:
+                        break
+                    if max_events is not None and processed_this_run >= max_events:
+                        break
+                    while heap and heap[0][3].cancelled:
+                        heappop(heap)
+                    if not heap:
+                        queue._live = 0
+                        break
+                    next_time = heap[0][0]
+                    if until is not None and next_time > until:
+                        self._now = until
+                        break
+                    event = heappop(heap)[3]
+                    queue._live -= 1
+                    self._now = next_time
+                    if trace is not None:
+                        trace.append((next_time, event.tag))
+                    event.callback()
+                    self._processed += 1
+                    processed_this_run += 1
         finally:
             self._running = False
         if until is not None and self._now < until and self.queue.peek_time() is None:

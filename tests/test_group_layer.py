@@ -13,6 +13,7 @@ from repro.group import (
     majority_threshold,
 )
 from repro.group.heartbeat import Heartbeat
+from repro.group.messages import GroupMessageEnvelope
 from repro.net.latency import FixedLatency
 from repro.net.network import Network
 from repro.sim import Simulator
@@ -246,3 +247,93 @@ class TestGroupCostModel:
     def test_state_transfer_grows_with_cycles(self):
         model = GroupCostModel()
         assert model.state_transfer_latency(8, 10) > model.state_transfer_latency(2, 10)
+
+
+class TestGroupMessengerFastPath:
+    """PR-2 regression tests: pending-state retirement and O(1) gm-id dedup."""
+
+    def _wire(self, size_a=4, size_b=4):
+        sim = Simulator()
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        group_a, group_b, hosts = _make_two_groups(sim, network, size_a, size_b)
+        return sim, group_a, group_b, hosts
+
+    def test_pending_state_retired_after_delivery(self):
+        sim, group_a, group_b, hosts = self._wire()
+        for sender in group_a.members:
+            hosts[sender].messenger.send(group_b, "gossip", "x", gm_id="gm-retire")
+        sim.run()
+        for receiver in group_b.members:
+            messenger = hosts[receiver].messenger
+            assert len(hosts[receiver].accepted) == 1
+            assert messenger.pending_count() == 0
+            assert "gm-retire" in messenger._delivered_gm_ids
+
+    def test_pending_count_reflects_undelivered_messages(self):
+        sim, group_a, group_b, hosts = self._wire(size_a=5)
+        # Below-majority share count: state stays pending.
+        for sender in list(group_a.members)[:2]:
+            hosts[sender].messenger.send(group_b, "gossip", "x", gm_id="gm-low")
+        sim.run()
+        for receiver in group_b.members:
+            assert hosts[receiver].accepted == []
+            assert hosts[receiver].messenger.pending_count() == 1
+
+    def test_late_shares_short_circuit_after_delivery(self):
+        sim, group_a, group_b, hosts = self._wire()
+        for sender in group_a.members:
+            hosts[sender].messenger.send(group_b, "gossip", "x", gm_id="gm-late")
+        sim.run()
+        receiver = group_b.members[0]
+        messenger = hosts[receiver].messenger
+        late = GroupMessageEnvelope(
+            gm_id="gm-late",
+            source_group="A",
+            source_epoch=0,
+            target_group="B",
+            kind="gossip",
+            payload="x",
+            digest="whatever",
+            sender_group_size=4,
+        )
+        before = len(hosts[receiver].accepted)
+        messenger.handle(late, "a0")
+        assert len(hosts[receiver].accepted) == before
+        assert messenger.pending_count() == 0
+
+    def test_equivocating_digests_accumulate_separately(self):
+        sim, group_a, group_b, hosts = self._wire(size_a=5)
+        receiver = group_b.members[0]
+        messenger = hosts[receiver].messenger
+
+        def share(payload, digest, sender):
+            return messenger.handle(
+                GroupMessageEnvelope(
+                    gm_id="gm-equiv",
+                    source_group="A",
+                    source_epoch=0,
+                    target_group="B",
+                    kind="gossip",
+                    payload=payload,
+                    digest=digest,
+                    sender_group_size=5,
+                ),
+                sender,
+            )
+
+        # Two Byzantine members push a forged digest; three correct members
+        # send the real one.  Only the real message reaches a majority.
+        share("forged", "bad-digest", "a0")
+        share("forged", "bad-digest", "a1")
+        share("real", "good-digest", "a2")
+        share("real", "good-digest", "a3")
+        assert hosts[receiver].accepted == []
+        share("real", "good-digest", "a4")
+        payloads = [p for _, p, _, _ in hosts[receiver].accepted]
+        assert payloads == ["real"]
+        # The forged bucket can never deliver now: the gm id is retired and
+        # its conflicting buckets were purged with it.
+        assert messenger.pending_count() == 0
+        share("forged", "bad-digest", "a4")
+        assert [p for _, p, _, _ in hosts[receiver].accepted] == ["real"]
+        assert messenger.pending_count() == 0

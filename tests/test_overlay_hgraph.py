@@ -149,3 +149,104 @@ def test_property_every_vertex_has_degree_2hc(n_vertices, cycles, seed):
     graph = HGraph.random([f"v{i}" for i in range(n_vertices)], cycles, rng)
     for vertex in graph.vertices:
         assert graph.degree(vertex) == 2 * cycles
+
+
+class TestNeighborTableCache:
+    """The per-vertex neighbour tables must never serve stale topology."""
+
+    def build(self, n=16, hc=3, seed=7):
+        return HGraph.random([f"v{i}" for i in range(n)], hc, random.Random(seed))
+
+    def expected_tables(self, graph, vertex):
+        pairs = tuple(
+            (graph.predecessor(vertex, c), graph.successor(vertex, c))
+            for c in range(graph.hc)
+        )
+        links = tuple(
+            link
+            for c in range(graph.hc)
+            for link in ((c, graph.successor(vertex, c)), (c, graph.predecessor(vertex, c)))
+        )
+        gossip = []
+        for pred, succ in pairs:
+            for neighbor in (pred, succ):
+                if neighbor != vertex and neighbor not in gossip:
+                    gossip.append(neighbor)
+        return pairs, links, tuple(gossip)
+
+    def assert_tables_fresh(self, graph, vertex):
+        pairs, links, gossip = self.expected_tables(graph, vertex)
+        assert graph.cycle_pairs(vertex) == pairs
+        assert graph.incident_links(vertex) == links
+        assert graph.gossip_neighbors(vertex) == gossip
+        assert graph.neighbors(vertex) == {n for _, n in links} - {vertex}
+
+    def test_tables_match_direct_queries(self):
+        graph = self.build()
+        for vertex in graph.vertices:
+            self.assert_tables_fresh(graph, vertex)
+
+    def test_insert_after_invalidates_affected_vertices(self):
+        graph = self.build()
+        anchor = "v0"
+        old_successor = graph.successor(anchor, 1)
+        # Warm every cache, then splice a new vertex into cycle 1.
+        for vertex in graph.vertices:
+            graph.gossip_neighbors(vertex)
+        version = graph.topology_version
+        graph.insert_after("fresh", anchor, 1)
+        assert graph.topology_version == version + 1
+        assert graph.successor(anchor, 1) == "fresh"
+        assert graph.predecessor("fresh", 1) == anchor
+        assert graph.successor("fresh", 1) == old_successor
+        # The spliced-around vertices serve fresh tables ("fresh" itself is
+        # only on cycle 1 until the remaining insert_after calls land, so its
+        # full table is not yet well defined).
+        for vertex in (anchor, old_successor):
+            self.assert_tables_fresh(graph, vertex)
+
+    def test_remove_invalidates_ring_neighbours(self):
+        graph = self.build()
+        victim = "v5"
+        ring = {victim}
+        for cycle in range(graph.hc):
+            ring.add(graph.predecessor(victim, cycle))
+            ring.add(graph.successor(victim, cycle))
+        for vertex in graph.vertices:
+            graph.incident_links(vertex)
+        graph.remove(victim)
+        assert victim not in graph
+        with pytest.raises(HGraphError):
+            graph.cycle_pairs(victim)
+        for vertex in ring - {victim}:
+            self.assert_tables_fresh(graph, vertex)
+        graph.validate()
+
+    def test_split_style_insert_vertex_invalidates_every_cycle(self):
+        """insert_vertex (the split path) must refresh all insertion points."""
+        graph = self.build(n=12, hc=4)
+        anchors = [graph.predecessor("v3", cycle) for cycle in range(graph.hc)]
+        for vertex in graph.vertices:
+            graph.gossip_neighbors(vertex)
+        graph.insert_vertex("split-born", anchors)
+        graph.validate()
+        self.assert_tables_fresh(graph, "split-born")
+        for anchor in set(anchors):
+            self.assert_tables_fresh(graph, anchor)
+
+    def test_derived_cache_dropped_with_vertex_table(self):
+        graph = self.build()
+        cache = graph.derived_cache("v1")
+        cache["marker"] = object()
+        anchor = graph.predecessor("v1", 0)
+        graph.insert_after("newbie", anchor, 0)
+        if graph.predecessor("v1", 0) == "newbie":
+            # v1's table was invalidated: the derived cache starts empty.
+            assert "marker" not in graph.derived_cache("v1")
+        # Untouched vertices keep their derived entries.
+        far = next(
+            v for v in graph.vertices
+            if v not in ("v1", "newbie", anchor) and "marker" not in graph.derived_cache(v)
+        )
+        graph.derived_cache(far)["keep"] = 1
+        assert graph.derived_cache(far)["keep"] == 1

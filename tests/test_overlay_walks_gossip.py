@@ -155,3 +155,85 @@ class TestGossipPolicies:
         for policy in (flood_policy, single_cycle_policy, random_policy()):
             targets = policy(graph, "g5", "msg", rng)
             assert "g5" not in targets
+
+
+class TestPolicyDeterminism:
+    """PR-2 regression tests: seeded policies are byte-stable and well spread."""
+
+    def test_random_policy_two_seeded_runs_pick_identical_forward_sets(self):
+        graph, _ = build_graph(n=48, hc=4, seed=21)
+        policy = random_policy(fanout=2)
+        picks_a = [policy(graph, f"g{i}", f"m{i}", random.Random(99)) for i in range(48)]
+        picks_b = [policy(graph, f"g{i}", f"m{i}", random.Random(99)) for i in range(48)]
+        assert picks_a == picks_b
+
+    def test_random_policy_guaranteed_cycle_always_included(self):
+        graph, _ = build_graph(n=32, hc=3, seed=5)
+        policy = random_policy(fanout=1, guaranteed_cycle=2)
+        for i in range(32):
+            vertex = f"g{i}"
+            targets = policy(graph, vertex, "m", random.Random(i))
+            pred, succ = graph.cycle_pairs(vertex)[2]
+            for neighbor in {pred, succ} - {vertex}:
+                assert neighbor in targets
+
+    def test_random_policy_legacy_shuffle_flag_replays_old_draw_scheme(self):
+        graph, _ = build_graph(n=32, hc=4, seed=9)
+        legacy = random_policy(fanout=2, legacy_shuffle=True)
+        modern = random_policy(fanout=2)
+        # Both are deterministic under a fixed seed...
+        assert legacy(graph, "g1", "m", random.Random(4)) == legacy(
+            graph, "g1", "m", random.Random(4)
+        )
+        # ...but consume randomness differently (shuffle-and-slice vs sample):
+        # the guaranteed-cycle prefix agrees, the random picks do not.
+        l = legacy(graph, "g1", "m", random.Random(4))
+        m = modern(graph, "g1", "m", random.Random(4))
+        assert l[:2] == m[:2]
+        assert l != m
+        assert set(l) <= set(graph.neighbors("g1"))
+        assert set(m) <= set(graph.neighbors("g1"))
+
+    def test_cycles_policy_stable_hash_spreads_similar_ids(self):
+        from repro.overlay.gossip import stable_message_hash
+
+        graph, _ = build_graph(n=24, hc=6, seed=3)
+        # The old sum(ord) derivation mapped permuted ids ("gm-12"/"gm-21")
+        # to the same cycle; the stable hash spreads them.
+        ids = [f"gm-{a}{b}" for a in "0123456789" for b in "0123456789"]
+        stable_cycles = {stable_message_hash(mid) % 6 for mid in ids}
+        legacy_cycles = {sum(ord(ch) for ch in mid) % 6 for mid in ids}
+        assert len(stable_cycles) == 6
+        # Permutations collide under the legacy hash by construction.
+        assert (sum(ord(c) for c in "gm-12") == sum(ord(c) for c in "gm-21"))
+        assert stable_message_hash("gm-12") != stable_message_hash("gm-21")
+
+    def test_cycles_policy_legacy_hash_flag_matches_old_derivation(self):
+        graph, rng = build_graph(n=24, hc=5, seed=13)
+        policy = cycles_policy(2, legacy_hash=True)
+        message_id = "stream-42"
+        start = sum(ord(ch) for ch in message_id) % graph.hc
+        expected_cycles = [start % graph.hc, (start + 1) % graph.hc]
+        expected = []
+        for cycle in expected_cycles:
+            for neighbor in graph.cycle_neighbors("g7", cycle):
+                if neighbor != "g7" and neighbor not in expected:
+                    expected.append(neighbor)
+        assert policy(graph, "g7", message_id, rng) == expected
+
+    def test_policy_results_refresh_after_topology_change(self):
+        graph, rng = build_graph(n=16, hc=3, seed=11)
+        policy = cycles_policy(1)
+        before = policy(graph, "g2", "m", rng)
+        victim = next(iter(set(before)))
+        graph.remove(victim)
+        after = policy(graph, "g2", "m", rng)
+        assert victim not in after
+
+    def test_stable_hash_is_cached_and_consistent(self):
+        from repro.overlay.gossip import stable_message_hash
+
+        assert stable_message_hash("abc") == stable_message_hash("abc")
+        import hashlib
+        expected = int.from_bytes(hashlib.sha256(b"abc").digest()[:8], "big")
+        assert stable_message_hash("abc") == expected
