@@ -66,6 +66,11 @@ def test_protocol_speed(benchmark, scale):
         )
         assert scenarios[name][current_key] > 0
 
+    # The churn workload narrowly catches MembershipError and counts it; a
+    # non-zero count means failures are being converted into "fewer ops",
+    # which would silently deflate the measured rate.
+    assert scenarios["churn"]["swallowed_errors"] == 0
+
     # The full protocol fast path (batched fan-out delivery) must beat the
     # pre-PR protocol stack by the target factor on broadcast dissemination;
     # the per-message-event variant and the membership engine must clear

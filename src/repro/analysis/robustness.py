@@ -87,6 +87,33 @@ def monte_carlo_vgroup_failure(
     return failures / trials
 
 
+def scenario_robustness_row(
+    system_size: int,
+    average_group_size: float,
+    fault_fraction: float,
+    synchronous: bool = True,
+) -> Dict[str, float]:
+    """Theoretical robustness figures for one adversarial-scenario row.
+
+    Used by :mod:`repro.faults.scenarios` to put the paper's analytical
+    failure probabilities (section 3.1) next to each empirical outcome: if a
+    scenario's observed invariant violations are zero while the theory says
+    all vgroups stay robust with high probability, the run corroborates the
+    analysis; a violation in a regime the theory calls safe is a bug.
+    """
+    group_size = max(1, int(round(average_group_size)))
+    return {
+        "fault_fraction": float(fault_fraction),
+        "fault_threshold": float(fault_threshold(group_size, synchronous)),
+        "vgroup_failure_probability": vgroup_failure_probability(
+            group_size, fault_fraction, synchronous
+        ),
+        "all_robust_probability": all_vgroups_robust_probability(
+            system_size, group_size, fault_fraction, synchronous
+        ),
+    }
+
+
 def optimal_group_size_table(
     system_size: int,
     failure_probability: float,
@@ -117,6 +144,7 @@ __all__ = [
     "fault_threshold",
     "vgroup_failure_probability",
     "all_vgroups_robust_probability",
+    "scenario_robustness_row",
     "logarithmic_group_size",
     "monte_carlo_vgroup_failure",
     "optimal_group_size_table",

@@ -62,8 +62,31 @@ class AtumCluster:
             on_join_completed=self._on_join_completed,
         )
         self.nodes: Dict[str, AtumNode] = {}
+        # Suspicion reports age out after the same deadline the nodes'
+        # heartbeat monitors use to form a suspicion (period * misses);
+        # both derive from params.heartbeat_config() so they cannot drift.
+        heartbeat_config = self.params.heartbeat_config()
+        self._suspicion_window = (
+            heartbeat_config.period * heartbeat_config.misses_before_eviction
+        )
         self._eviction_requests: Set[str] = set()
-        self._suspicions: Dict[str, Set[str]] = {}
+        # Per suspect: reporter -> time of the latest suspicion report.
+        # Reports age out (see request_eviction), so a Byzantine minority
+        # cannot accumulate stale accusations until they look like a majority.
+        self._suspicions: Dict[str, Dict[str, float]] = {}
+        # Optional runtime invariant monitor (see repro.faults.invariants).
+        # Every hook below is guarded by ``is not None`` so unmonitored runs
+        # pay a single attribute check per membership event.
+        self.monitor = None
+
+    def attach_monitor(self, monitor) -> None:
+        """Attach a runtime invariant monitor (``repro.faults.invariants``).
+
+        The monitor is notified of node creation, view changes, departures
+        and evictions, and installs its own observation hooks on each node.
+        """
+        self.monitor = monitor
+        monitor.bind(self)
 
     # ------------------------------------------------------------- node creation
 
@@ -95,6 +118,8 @@ class AtumCluster:
         )
         self.nodes[address] = node
         self.network.register(node)
+        if self.monitor is not None:
+            self.monitor.on_node_added(node)
         return node
 
     def node(self, address: str) -> AtumNode:
@@ -140,27 +165,44 @@ class AtumCluster:
     def request_eviction(self, peer: str, suspected_by: str) -> None:
         """Directory hook used by heartbeat monitors to evict unresponsive peers.
 
-        An eviction proceeds only once a majority of the suspect's vgroup
-        peers have reported it -- inside a vgroup the eviction is an SMR
-        agreement, so a Byzantine minority cannot evict correct nodes by
-        pretending not to receive their heartbeats (the attack of the paper's
-        section 6.1.3).
+        An eviction proceeds only once a *strict majority* of the suspect's
+        vgroup co-members have reported it recently -- inside a vgroup the
+        eviction is an SMR agreement, so a Byzantine minority cannot evict
+        correct nodes by pretending not to receive their heartbeats (the
+        attack of the paper's section 6.1.3).  Two details are load-bearing
+        for that argument:
+
+        * the threshold is ``len(co_members) // 2 + 1`` -- a strict majority
+          of the co-members, which any per-vgroup Byzantine minority falls
+          short of (``(g-1)//2 + 1 > (g-1)//2``);
+        * reports expire after the heartbeat suspicion deadline, so an
+          adversary cannot bank accusations forever and combine them with a
+          correct node's stale report about a long-recovered transient.
         """
         if peer in self._eviction_requests:
             return
         if peer not in self.engine.node_group:
             return
         view = self.engine.group_of(peer)
-        suspicions = self._suspicions.setdefault(peer, set())
+        now = self.sim.now
+        suspicions = self._suspicions.setdefault(peer, {})
         if suspected_by != peer:
-            suspicions.add(suspected_by)
+            suspicions[suspected_by] = now
+        window = self._suspicion_window
         co_members = [member for member in view.members if member != peer]
-        reporting = len(suspicions.intersection(co_members))
-        required = max(1, (len(co_members) + 1) // 2)
+        fresh = {
+            reporter
+            for reporter, reported_at in suspicions.items()
+            if now - reported_at <= window
+        }
+        reporting = len(fresh.intersection(co_members))
+        required = len(co_members) // 2 + 1
         if reporting < required:
             return
         self._eviction_requests.add(peer)
         self._suspicions.pop(peer, None)
+        if self.monitor is not None:
+            self.monitor.on_eviction(peer)
         self.engine.leave(peer, eviction=True)
 
     def crash(self, address: str) -> None:
@@ -170,6 +212,21 @@ class AtumCluster:
             node.byzantine = "mute"
             if node.heartbeats is not None:
                 node.heartbeats.stop()
+
+    def recover(self, address: str) -> None:
+        """Recover a crashed node: it resumes correct behaviour.
+
+        If the node is still a member (it was not evicted while down) its
+        heartbeat monitor restarts; an evicted node stays outside the system
+        and must re-join — under a *fresh* identity, as the membership
+        invariants require.
+        """
+        node = self.nodes.get(address)
+        if node is None:
+            return
+        node.byzantine = None
+        if node.is_member and node.heartbeats is not None and not node.heartbeats.running:
+            node.heartbeats.start()
 
     def make_byzantine(self, addresses: Iterable[str], mode: str = "silent") -> None:
         """Turn existing nodes into Byzantine nodes with the given behaviour."""
@@ -270,6 +327,8 @@ class AtumCluster:
             node = self.nodes.get(member)
             if node is not None:
                 node.install_view(view)
+        if self.monitor is not None:
+            self.monitor.on_view_changed(view)
 
     def _on_group_removed(self, group_id: str) -> None:
         # Members were re-homed before the group disappeared; nothing to do at
@@ -281,6 +340,11 @@ class AtumCluster:
         if node is not None:
             node.clear_membership()
         self._eviction_requests.discard(address)
+        # Drop any suspicion state about the departed node, or long churn
+        # runs accumulate per-suspect report dicts forever.
+        self._suspicions.pop(address, None)
+        if self.monitor is not None:
+            self.monitor.on_node_left(address)
 
     def _on_join_completed(self, address: str, group_id: str) -> None:
         view = self.engine.groups.get(group_id)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -94,8 +94,15 @@ class AtumNode(Actor):
         forward_policy: One of ``"flood"``, ``"single"``, ``"double"`` or
             ``"random"`` -- the built-in forwarding policies.
         byzantine: ``None`` for a correct node, ``"silent"`` for a node that
-            stops participating in every protocol except heartbeats, or
-            ``"mute"`` for a completely unresponsive node.
+            stops participating in every protocol except heartbeats,
+            ``"mute"`` for a completely unresponsive node,
+            ``"evict_attack"`` for the paper's §6.1.3 synchronous adversary
+            (heartbeats only, plus eviction proposals against correct peers —
+            the proposals themselves are driven by
+            :class:`repro.faults.behaviours.FaultController`), or
+            ``"equivocate"`` for a node that participates in gossip but sends
+            conflicting payload variants of every forwarded group message to
+            disjoint halves of the destination vgroup.
     """
 
     def __init__(
@@ -118,6 +125,11 @@ class AtumNode(Actor):
         self.registry = registry
         self.directory = directory
         self.deliver_fn = deliver_fn
+        # Observation-only delivery hook (repro.faults.invariants) invoked
+        # before deliver_fn.  Kept separate from deliver_fn because apps
+        # reassign that attribute freely (e.g. ASub) and must not be able to
+        # silently disconnect an attached invariant monitor.
+        self.delivery_observer: Optional[Callable[[BroadcastMessage], None]] = None
         self.forward_fn = forward_fn
         self.forward_policy = forward_policy
         self.byzantine = byzantine
@@ -145,7 +157,7 @@ class AtumNode(Actor):
                 peers_fn=lambda: self.vgroup_view.members if self.vgroup_view else (),
                 send_fn=lambda peer, hb: self.network.send_one(self.address, peer, hb, 64),
                 suspect_fn=self._on_peer_suspected,
-                config=HeartbeatConfig(period=params.heartbeat_period),
+                config=params.heartbeat_config(),
             )
 
     # ------------------------------------------------------------------ queries
@@ -181,7 +193,14 @@ class AtumNode(Actor):
         else:
             self.replica.members = list(view.members)
             self.replica.reconfigure(view.members)
-        if self.heartbeats is not None and not self.heartbeats.running:
+        if (
+            self.heartbeats is not None
+            and not self.heartbeats.running
+            and self.byzantine != "mute"
+        ):
+            # A mute (crashed) node's stopped monitor must stay stopped, or
+            # any reconfiguration of its vgroup would resurrect its
+            # heartbeats and hide the crash from the failure detector.
             self.heartbeats.start()
 
     def clear_membership(self) -> None:
@@ -254,9 +273,11 @@ class AtumNode(Actor):
             if self.heartbeats is not None:
                 self.heartbeats.observe(payload)
             return
-        if self.byzantine == "silent":
+        if self.byzantine == "silent" or self.byzantine == "evict_attack":
             # A silent Byzantine node keeps sending heartbeats (handled by its
-            # monitor) but ignores every other protocol message.
+            # monitor) but ignores every other protocol message.  The
+            # evict-attack adversary behaves the same on the receive path; its
+            # eviction proposals are timer-driven.
             return
         if isinstance(payload, SmrEnvelope):
             if self.replica is not None and self.vgroup_view is not None:
@@ -315,6 +336,8 @@ class AtumNode(Actor):
         self.delivered_order.append(message.bcast_id)
         self.sim.metrics.increment("atum.deliveries")
         self.sim.metrics.observe("atum.delivery_latency", self.sim.now - message.created_at)
+        if self.delivery_observer is not None:
+            self.delivery_observer(message)
         if self.deliver_fn is not None:
             self.deliver_fn(message)
         if self.params.smr_kind is SmrKind.SYNC:
@@ -342,13 +365,30 @@ class AtumNode(Actor):
             if target_view is None:
                 continue
             gm_id = f"gossip:{message.bcast_id}:{own_group}->{target_group}"
-            self.messenger.send(
-                target_view,
-                "gossip",
-                message,
-                gm_id=gm_id,
-                payload_bytes=message.size_bytes + 64,
-            )
+            if self.byzantine == "equivocate":
+                # An equivocating broadcaster ships a conflicting variant of
+                # the share to half of the destination vgroup.  The forged
+                # payload depends only on the message (not on this node), so
+                # colluding equivocators aggregate into one conflicting
+                # digest bucket — the strongest version of the attack the
+                # group-message majority rule must absorb.
+                forged = replace(message, payload=("equivocated", message.payload))
+                self.messenger.send_equivocating(
+                    target_view,
+                    "gossip",
+                    message,
+                    forged,
+                    gm_id=gm_id,
+                    payload_bytes=message.size_bytes + 64,
+                )
+            else:
+                self.messenger.send(
+                    target_view,
+                    "gossip",
+                    message,
+                    gm_id=gm_id,
+                    payload_bytes=message.size_bytes + 64,
+                )
         self.sim.metrics.increment("atum.gossip_forwards")
 
     def _gossip_targets(self, message: BroadcastMessage, exclude: str) -> List[str]:

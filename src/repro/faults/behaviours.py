@@ -1,0 +1,213 @@
+"""Applying fault plans to a running cluster: the fault *control plane*.
+
+:class:`FaultController` turns a declarative :class:`~repro.faults.plan.
+FaultPlan` into scheduled simulator events against an
+:class:`~repro.core.cluster.AtumCluster`:
+
+* partitions form and heal at their configured times through the network's
+  existing partition machinery;
+* link faults install a :class:`~repro.faults.injector.LinkFaultInjector`
+  on the network;
+* node faults flip node behaviours on schedule — crash (+ recovery), silent,
+  mute, the §6.1.3 evict-proposing adversary (periodic eviction proposals
+  against correct vgroup peers, driven here because a heartbeat-only node
+  has no protocol activity of its own to hang a timer on), and equivocating
+  broadcasters.
+
+All control-plane randomness (victim choice of the eviction attack) comes
+from the ``faults.control`` stream of the simulation's seeded registry.
+Applying an **empty plan schedules nothing and installs nothing**, keeping
+runs byte-identical to unfaulted ones.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.faults.injector import LinkFaultInjector
+from repro.faults.plan import FaultPlan, NodeFault
+
+
+class FaultController:
+    """Schedules and executes one fault plan against one cluster."""
+
+    def __init__(self, cluster, plan: FaultPlan, monitor=None) -> None:
+        self.cluster = cluster
+        self.plan = plan
+        self.monitor = monitor
+        self.injector: Optional[LinkFaultInjector] = None
+        self._installed = False
+        # Node faults currently in effect per address, in start order.  When
+        # a windowed fault ends, the most recently started fault still
+        # active takes over (or the node recovers if none remains), so
+        # composed per-address faults — nested or partially overlapping
+        # windows, a permanent behaviour under a crash-recover window — do
+        # not erase each other.
+        self._active_faults: Dict[str, List[NodeFault]] = {}
+        # Attack timers self-reschedule until their fault's stop time even
+        # while the behaviour is temporarily displaced, so each evict_attack
+        # fault gets exactly one timer chain.
+        self._attacks_started: set = set()
+
+    def install(self) -> "FaultController":
+        """Schedule every fault of the plan; idempotent, returns ``self``."""
+        if self._installed or self.plan.is_empty():
+            self._installed = True
+            return self
+        self._installed = True
+        cluster = self.cluster
+        sim = cluster.sim
+        if self.monitor is not None:
+            self.monitor.exempt(self.plan.faulted_addresses())
+
+        partitions = self.plan.partitions
+        for partition in partitions:
+            members = partition.members
+
+            def form(members=members) -> None:
+                cluster.network.partition(members)
+                sim.metrics.increment("faults.partitions_formed")
+
+            self._at(partition.start, form, tag="faults.partition")
+            if partition.heal_at is not None:
+
+                def heal(partition=partition) -> None:
+                    # Composed plans may cover an address with several
+                    # overlapping partitions; healing one must not release
+                    # addresses another still-active partition isolates.
+                    now = sim.now
+                    still_covered = set()
+                    for other in partitions:
+                        if other is partition:
+                            continue
+                        if other.start <= now and (
+                            other.heal_at is None or now < other.heal_at
+                        ):
+                            still_covered.update(other.members)
+                    to_heal = [m for m in partition.members if m not in still_covered]
+                    if to_heal:
+                        cluster.network.heal(to_heal)
+                    sim.metrics.increment("faults.partitions_healed")
+
+                self._at(partition.heal_at, heal, tag="faults.heal")
+
+        if self.plan.links:
+            self.injector = LinkFaultInjector(sim, self.plan.links)
+            cluster.network.install_fault_injector(self.injector)
+
+        for node_fault in self.plan.nodes:
+            self._at(
+                node_fault.start,
+                lambda nf=node_fault: self._start_behaviour(nf),
+                tag="faults.node",
+            )
+            if node_fault.stop is not None:
+                self._at(
+                    node_fault.stop,
+                    lambda nf=node_fault: self._stop_behaviour(nf),
+                    tag="faults.recover",
+                )
+        return self
+
+    # ------------------------------------------------------------- behaviours
+
+    def _start_behaviour(self, node_fault: NodeFault) -> None:
+        cluster = self.cluster
+        address = node_fault.address
+        node = cluster.nodes.get(address)
+        if node is None:
+            return
+        cluster.sim.metrics.increment(
+            f"faults.behaviour_{node_fault.behaviour}_started"
+        )
+        self._active_faults.setdefault(address, []).append(node_fault)
+        self._apply_behaviour(node_fault)
+
+    def _stop_behaviour(self, node_fault: NodeFault) -> None:
+        cluster = self.cluster
+        address = node_fault.address
+        node = cluster.nodes.get(address)
+        if node is None:
+            return
+        cluster.sim.metrics.increment(
+            f"faults.behaviour_{node_fault.behaviour}_stopped"
+        )
+        active = self._active_faults.get(address, [])
+        if node_fault in active:
+            active.remove(node_fault)
+        cluster.recover(address)
+        if active:
+            # Another fault still covers this address: the most recently
+            # started one takes over instead of leaving the node correct.
+            self._apply_behaviour(active[-1])
+
+    def _apply_behaviour(self, node_fault: NodeFault) -> None:
+        cluster = self.cluster
+        behaviour = node_fault.behaviour
+        if behaviour == "crash" or behaviour == "mute":
+            # Both mean "completely unresponsive": byzantine='mute' plus a
+            # stopped heartbeat monitor, so liveness detection can evict the
+            # node.  They differ only in intent (crash windows recover).
+            cluster.crash(node_fault.address)
+            return
+        node = cluster.nodes.get(node_fault.address)
+        if node is not None:
+            node.byzantine = behaviour
+        if behaviour == "evict_attack" and node_fault not in self._attacks_started:
+            self._attacks_started.add(node_fault)
+            self._schedule_attack(node_fault)
+
+    # --------------------------------------------------------- eviction attack
+
+    def _schedule_attack(self, node_fault: NodeFault) -> None:
+        self.cluster.sim.schedule(
+            node_fault.attack_period,
+            lambda: self._attack_tick(node_fault),
+            tag="faults.evict_attack",
+        )
+
+    def _attack_tick(self, node_fault: NodeFault) -> None:
+        """One eviction proposal by the §6.1.3 adversary against a correct peer.
+
+        The attacker reports a deterministic rotation of its correct vgroup
+        peers as "suspected".  Because an eviction needs majority suspicion
+        inside the vgroup, a Byzantine minority's proposals never pass — the
+        invariant monitor flags it immediately if one ever does.
+        """
+        cluster = self.cluster
+        attacker = cluster.nodes.get(node_fault.address)
+        if attacker is None:
+            return
+        if node_fault.stop is not None and cluster.sim.now >= node_fault.stop:
+            return
+        view = attacker.vgroup_view
+        # Propose only while the attack behaviour is actually active (another
+        # windowed fault, e.g. a crash, may have temporarily displaced it);
+        # the timer itself keeps running until the fault's stop time.
+        if attacker.byzantine == "evict_attack" and view is not None:
+            victims = [
+                member
+                for member in view.members
+                if member != attacker.address
+                and (cluster.nodes.get(member) is None or cluster.nodes[member].is_correct)
+            ]
+            if victims:
+                tick = int(cluster.sim.now / node_fault.attack_period)
+                victim = victims[tick % len(victims)]
+                cluster.sim.metrics.increment("faults.evictions_proposed_by_byzantine")
+                cluster.request_eviction(victim, suspected_by=attacker.address)
+        self._schedule_attack(node_fault)
+
+    # ----------------------------------------------------------------- helpers
+
+    def _at(self, time: float, callback, tag: str) -> None:
+        sim = self.cluster.sim
+        sim.schedule_at(max(time, sim.now), callback, tag=tag)
+
+
+def apply_plan(cluster, plan: FaultPlan, monitor=None) -> FaultController:
+    """Convenience wrapper: build and install a controller for ``plan``."""
+    return FaultController(cluster, plan, monitor=monitor).install()
+
+
+__all__ = ["FaultController", "apply_plan"]

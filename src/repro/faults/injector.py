@@ -1,0 +1,89 @@
+"""Network-level fault injection: per-link loss, duplication and delay spikes.
+
+The injector is installed on a :class:`repro.net.network.Network` and
+consulted once per routed message.  It owns a dedicated RNG stream
+(``faults.network``) derived from the simulation seed, so fault draws are
+deterministic and never perturb the network's own randomness (send-order
+shuffles, baseline loss, latency samples keep their exact draw sequence).
+
+Rules that do not match a message's link or time window draw nothing, which
+keeps runs with inactive windows deterministic regardless of how much
+traffic flows outside them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.faults.plan import LinkFault
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+
+
+class LinkFaultInjector:
+    """Evaluates :class:`~repro.faults.plan.LinkFault` rules per message.
+
+    The network calls :meth:`perturb` for every message it routes while an
+    injector is installed; the verdict says whether to drop the message, how
+    much extra propagation delay to add, and how many copies to deliver.
+    """
+
+    def __init__(self, sim: Simulator, links: Sequence[LinkFault]) -> None:
+        self.links: Tuple[LinkFault, ...] = tuple(links)
+        self._rng = sim.rng.stream("faults.network")
+        self._counters = sim.metrics.counters
+
+    def perturb(
+        self, sender: str, receiver: str, now: float
+    ) -> Optional[Tuple[bool, float, int]]:
+        """Fault verdict for one message: ``(drop, extra_delay, copies)``.
+
+        Returns ``None`` when no rule matches, so the caller can stay on the
+        unperturbed arithmetic.  All matching rules compose: loss draws are
+        independent per rule, delays add up, and duplication contributes one
+        extra copy per matching rule that fires.
+        """
+        matched = False
+        extra_delay = 0.0
+        copies = 1
+        rng = self._rng
+        counters = self._counters
+        for rule in self.links:
+            if not rule.matches(sender, receiver, now):
+                continue
+            matched = True
+            if rule.loss > 0.0 and rng.random() < rule.loss:
+                counters["faults.messages_dropped"] += 1.0
+                return (True, 0.0, 0)
+            if rule.extra_delay > 0.0 or rule.jitter > 0.0:
+                delay = rule.extra_delay
+                if rule.jitter > 0.0:
+                    delay += rng.random() * rule.jitter
+                extra_delay += delay
+            if rule.duplicate > 0.0 and rng.random() < rule.duplicate:
+                counters["faults.messages_duplicated"] += 1.0
+                copies += 1
+        if not matched:
+            return None
+        if extra_delay > 0.0:
+            # Once per delayed message, however many rules contributed.
+            counters["faults.messages_delayed"] += 1.0
+        return (False, extra_delay, copies)
+
+
+def install_link_faults(
+    network: Network, sim: Simulator, links: Sequence[LinkFault]
+) -> Optional[LinkFaultInjector]:
+    """Install a :class:`LinkFaultInjector` for ``links`` on ``network``.
+
+    Returns the injector, or ``None`` when ``links`` is empty (in which case
+    the network keeps its untouched fast paths).
+    """
+    if not links:
+        return None
+    injector = LinkFaultInjector(sim, links)
+    network.install_fault_injector(injector)
+    return injector
+
+
+__all__ = ["LinkFaultInjector", "install_link_faults"]

@@ -1,0 +1,370 @@
+"""Runtime invariant checking for Atum's robustness claims.
+
+The paper's safety guarantees (section 3.1) reduce to a handful of
+observable invariants.  :class:`InvariantMonitor` attaches to an
+:class:`~repro.core.cluster.AtumCluster` and checks them *while a scenario
+runs* rather than after the fact:
+
+* **No forged group message accepted** — every group message accepted by a
+  correct node was contributed by real (ever-)members of the claimed source
+  vgroup, reached the majority of that vgroup's actual size, and includes at
+  least one correct sender (a Byzantine minority alone can never push a
+  message past the majority rule).
+* **Agreement** — all correct nodes that deliver a broadcast deliver the
+  *same payload* (equivocation never wins); for bare SMR groups,
+  :func:`check_agreement_logs` asserts the PBFT / Dolev-Strong harness
+  outputs are prefix-consistent.
+* **No wrongful eviction / no re-admission** — a correct, responsive node is
+  never evicted, and an evicted identity is never re-accepted into any
+  vgroup.
+* **Group-size bounds** — every installed view respects the logarithmic
+  grouping bounds (``gmin``/``gmax`` with the documented merge transient),
+  and view epochs never move backwards.
+
+Checks are pure observation: they draw no randomness, schedule no events and
+never mutate protocol state, so an attached monitor cannot change a run's
+event trace.  Violations accumulate in :attr:`InvariantMonitor.violations`;
+:meth:`assert_clean` raises with a readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from repro.crypto.digest import digest_object
+from repro.group.vgroup import VGroupView, majority_threshold
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One detected invariant violation."""
+
+    kind: str
+    subject: str
+    time: float
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return f"[t={self.time:.3f}] {self.kind}({self.subject}): {self.detail}"
+
+
+@dataclass
+class InvariantConfig:
+    """Tunables of the monitor.
+
+    Attributes:
+        size_slack: Extra members a view may transiently hold above ``gmax``
+            (a merge installs up to ``gmax + gmin - 1`` members before the
+            follow-up split); ``None`` uses the engine's ``gmin``.
+        check_claimed_size: Verify the claimed sender-group size of accepted
+            group messages against the source vgroup's actual size.
+        check_final_bounds: At :meth:`InvariantMonitor.finalize`, require all
+            groups back inside ``[gmin, gmax]``.
+        flag_correct_evictions: Record a violation when a correct,
+            non-exempt, non-partitioned node is evicted.
+        max_violations: Stop recording beyond this many violations.
+    """
+
+    size_slack: Optional[int] = None
+    check_claimed_size: bool = True
+    check_final_bounds: bool = True
+    flag_correct_evictions: bool = True
+    max_violations: int = 200
+
+
+class InvariantMonitor:
+    """Observes a cluster and records violations of the paper's invariants.
+
+    Usage::
+
+        monitor = InvariantMonitor()
+        cluster.attach_monitor(monitor)
+        ...run a (faulty) scenario...
+        monitor.finalize()
+        monitor.assert_clean()
+    """
+
+    def __init__(self, config: Optional[InvariantConfig] = None) -> None:
+        self.config = config or InvariantConfig()
+        self.violations: List[InvariantViolation] = []
+        self.checks_run = 0
+        self._cluster = None
+        self._exempt: Set[str] = set()
+        # Evictions are asynchronous: the decision is observed immediately
+        # (``_pending_evictions``), but the identity only becomes banned for
+        # re-admission once the eviction's leave actually removes the node
+        # (``_evicted``) — until then it legitimately appears in views.
+        self._pending_evictions: Set[str] = set()
+        self._evicted: Set[str] = set()
+        self._eviction_decisions = 0
+        self._group_epochs: Dict[str, int] = {}
+        self._ever_members: Dict[str, Set[str]] = {}
+        # Smallest size each group ever had: the reference for the claimed
+        # sender-group size of accepted messages.  Comparing against the
+        # *current* size would false-positive when a merge grows the group
+        # while honestly-sized shares are still in flight.
+        self._min_sizes: Dict[str, int] = {}
+        self._delivered_digests: Dict[str, str] = {}
+
+    # ----------------------------------------------------------------- wiring
+
+    def bind(self, cluster) -> None:
+        """Attach to ``cluster`` (called by ``AtumCluster.attach_monitor``)."""
+        self._cluster = cluster
+        for view in cluster.engine.groups.values():
+            self._group_epochs[view.group_id] = view.epoch
+            self._ever_members.setdefault(view.group_id, set()).update(view.members)
+            self._track_min_size(view)
+        for node in cluster.nodes.values():
+            self.on_node_added(node)
+
+    def exempt(self, addresses) -> None:
+        """Exclude ``addresses`` from the wrongful-eviction check.
+
+        Fault plans exempt every address they partition or crash: such nodes
+        legitimately miss heartbeats, and evicting them is the *correct*
+        reaction, exactly as the paper treats unresponsive nodes as failed.
+        """
+        self._exempt.update(addresses)
+
+    def on_node_added(self, node) -> None:
+        """Install observation hooks on a newly created node.
+
+        Uses the node's dedicated ``delivery_observer`` slot rather than
+        wrapping ``deliver_fn``: applications reassign ``deliver_fn`` after
+        node creation (ASub does), which would silently disconnect a wrapped
+        monitor.
+        """
+        messenger = getattr(node, "messenger", None)
+        if messenger is not None and messenger.accept_audit is None:
+            messenger.accept_audit = (
+                lambda envelope, senders, node=node: self._audit_accept(node, envelope, senders)
+            )
+        node.delivery_observer = (
+            lambda message, node=node: self._record_delivery(node, message)
+        )
+
+    # ------------------------------------------------------------ engine hooks
+
+    def on_view_changed(self, view: VGroupView) -> None:
+        """Check one installed vgroup view (called on every reconfiguration)."""
+        self.checks_run += 1
+        engine = self._cluster.engine
+        gmin, gmax = engine.config.gmin, engine.config.gmax
+        slack = self.config.size_slack if self.config.size_slack is not None else gmin
+        group_id = view.group_id
+
+        if view.size < 1:
+            self._violation("group_size", group_id, "installed an empty view")
+        elif view.size > gmax + slack:
+            self._violation(
+                "group_size",
+                group_id,
+                f"size {view.size} exceeds gmax={gmax} beyond the merge transient (+{slack})",
+            )
+
+        previous_epoch = self._group_epochs.get(group_id)
+        if previous_epoch is not None and view.epoch < previous_epoch:
+            self._violation(
+                "epoch_regression",
+                group_id,
+                f"epoch moved backwards: {previous_epoch} -> {view.epoch}",
+            )
+        self._group_epochs[group_id] = view.epoch
+
+        if self._evicted:
+            readmitted = self._evicted.intersection(view.members)
+            for address in sorted(readmitted):
+                self._violation(
+                    "evicted_readmitted",
+                    address,
+                    f"evicted identity re-accepted into {group_id}",
+                )
+        self._ever_members.setdefault(group_id, set()).update(view.members)
+        self._track_min_size(view)
+
+    def _track_min_size(self, view: VGroupView) -> None:
+        previous = self._min_sizes.get(view.group_id)
+        if previous is None or view.size < previous:
+            self._min_sizes[view.group_id] = view.size
+
+    def on_node_left(self, address: str) -> None:
+        """A node actually left the system; pending evictions become final."""
+        if address in self._pending_evictions:
+            self._pending_evictions.discard(address)
+            self._evicted.add(address)
+
+    def on_eviction(self, address: str) -> None:
+        """Record an eviction decided by the cluster's majority-suspicion rule."""
+        self._eviction_decisions += 1
+        self._pending_evictions.add(address)
+        if not self.config.flag_correct_evictions:
+            return
+        if address in self._exempt:
+            return
+        cluster = self._cluster
+        node = cluster.nodes.get(address)
+        if node is None or not node.is_correct:
+            return
+        if cluster.network.is_partitioned(address):
+            return
+        self._violation(
+            "correct_evicted",
+            address,
+            "a correct, responsive node was evicted (Byzantine eviction attack succeeded)",
+        )
+
+    # ------------------------------------------------------------- node hooks
+
+    def _audit_accept(self, node, envelope, senders: Set[str]) -> None:
+        """Audit one accepted group message at a correct node."""
+        if not node.is_correct:
+            return
+        self.checks_run += 1
+        source_group = envelope.source_group
+        known = self._ever_members.get(source_group)
+        if known is None:
+            # Solo views (non-member senders) and groups the monitor never saw
+            # are outside the membership history; nothing to audit against.
+            return
+        strangers = set(senders) - known
+        if strangers:
+            self._violation(
+                "forged_sender",
+                node.address,
+                f"group message {envelope.gm_id} accepted with non-member senders "
+                f"{sorted(strangers)} of group {source_group}",
+            )
+        if self.config.check_claimed_size:
+            # The claimed sender-group size must be plausible: shares from an
+            # honest sender carry the group's size at send time, which is
+            # never below the smallest size the group ever had.  A forger
+            # claiming a smaller size (to shrink the acceptance majority)
+            # yields a sender count below the historical-minimum majority.
+            min_size = self._min_sizes.get(source_group)
+            if min_size is not None and len(senders) < majority_threshold(min_size):
+                self._violation(
+                    "forged_majority",
+                    node.address,
+                    f"group message {envelope.gm_id} accepted with {len(senders)} senders, "
+                    f"below the majority of {source_group}'s smallest-ever size {min_size} "
+                    f"(claimed {envelope.sender_group_size})",
+                )
+        if not any(self._is_correct(sender) for sender in senders):
+            self._violation(
+                "forged_all_byzantine",
+                node.address,
+                f"group message {envelope.gm_id} accepted from exclusively Byzantine "
+                f"senders {sorted(senders)}",
+            )
+
+    def _record_delivery(self, node, message) -> None:
+        """Check broadcast-payload agreement across correct nodes."""
+        if not node.is_correct:
+            return
+        digest = digest_object(message.payload)
+        previous = self._delivered_digests.get(message.bcast_id)
+        if previous is None:
+            self._delivered_digests[message.bcast_id] = digest
+        elif previous != digest:
+            self._violation(
+                "broadcast_mismatch",
+                node.address,
+                f"broadcast {message.bcast_id} delivered with payload digest {digest[:12]} "
+                f"but another correct node delivered {previous[:12]} (equivocation won)",
+            )
+
+    # ---------------------------------------------------------------- results
+
+    def finalize(self) -> List[InvariantViolation]:
+        """End-of-run checks: structural validity and settled size bounds."""
+        engine = self._cluster.engine
+        try:
+            engine.validate()
+        except Exception as exc:
+            self._violation("structure", "engine", str(exc))
+        for address in sorted(self._evicted):
+            if address in engine.node_group:
+                self._violation(
+                    "evicted_readmitted", address, "evicted identity is a member at finalize"
+                )
+        if self.config.check_final_bounds:
+            gmin, gmax = engine.config.gmin, engine.config.gmax
+            for group_id, view in engine.groups.items():
+                if view.size > gmax:
+                    self._violation(
+                        "final_group_size", group_id, f"settled at size {view.size} > gmax={gmax}"
+                    )
+                elif view.size < gmin and len(engine.groups) > 1:
+                    self._violation(
+                        "final_group_size", group_id, f"settled at size {view.size} < gmin={gmin}"
+                    )
+        return self.violations
+
+    def assert_clean(self) -> None:
+        """Raise ``AssertionError`` with a readable report unless violation-free."""
+        if self.violations:
+            report = "\n".join(str(violation) for violation in self.violations[:20])
+            raise AssertionError(
+                f"{len(self.violations)} invariant violation(s) detected:\n{report}"
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact outcome for scenario rows and shard snapshots."""
+        by_kind: Dict[str, int] = {}
+        for violation in self.violations:
+            by_kind[violation.kind] = by_kind.get(violation.kind, 0) + 1
+        return {
+            "violations": len(self.violations),
+            "checks_run": self.checks_run,
+            "by_kind": by_kind,
+            "evictions_observed": self._eviction_decisions,
+        }
+
+    # ----------------------------------------------------------------- helpers
+
+    def _is_correct(self, address: str) -> bool:
+        node = self._cluster.nodes.get(address)
+        # Engine-granularity nodes (growth workloads join addresses that have
+        # no actor object) are correct by construction.
+        return True if node is None else node.is_correct
+
+    def _violation(self, kind: str, subject: str, detail: str) -> None:
+        if len(self.violations) >= self.config.max_violations:
+            return
+        now = self._cluster.sim.now if self._cluster is not None else 0.0
+        self.violations.append(
+            InvariantViolation(kind=kind, subject=subject, time=now, detail=detail)
+        )
+
+
+def check_agreement_logs(logs: Sequence[Sequence[str]]) -> List[str]:
+    """Prefix-consistency of per-replica decided-operation logs.
+
+    The harness-level agreement invariant: any two correct replicas of one
+    SMR group must have decided the same operations in the same order up to
+    the length of the shorter log (a lagging replica is fine, a *diverging*
+    one is a safety violation).  Returns human-readable mismatch
+    descriptions (empty = consistent).
+    """
+    mismatches: List[str] = []
+    for left_index in range(len(logs)):
+        for right_index in range(left_index + 1, len(logs)):
+            left, right = logs[left_index], logs[right_index]
+            for position in range(min(len(left), len(right))):
+                if left[position] != right[position]:
+                    mismatches.append(
+                        f"replicas {left_index} and {right_index} diverge at decision "
+                        f"{position}: {left[position]!r} != {right[position]!r}"
+                    )
+                    break
+    return mismatches
+
+
+__all__ = [
+    "InvariantMonitor",
+    "InvariantConfig",
+    "InvariantViolation",
+    "check_agreement_logs",
+]

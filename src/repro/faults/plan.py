@@ -1,0 +1,203 @@
+"""Composable fault plans: the declarative schema of the fault subsystem.
+
+A :class:`FaultPlan` describes *what goes wrong and when* in one simulated
+run, as data rather than per-experiment driver code:
+
+* :class:`Partition` — a set of addresses isolated from the rest of the
+  network between ``start`` and ``heal_at`` (``None`` = never heals);
+* :class:`LinkFault` — a time-windowed per-link perturbation (loss,
+  duplication, added delay / jitter spikes) matching a sender/receiver
+  pattern (``None`` matches any address);
+* :class:`NodeFault` — a node-behaviour change (crash with optional
+  recovery, silent Byzantine, the paper's §6.1.3 heartbeat-only +
+  evict-proposing adversary, or an equivocating broadcaster).
+
+Plans are immutable and validated at construction; they are *applied* by
+:class:`repro.faults.behaviours.FaultController` (full cluster) or
+:func:`repro.faults.injector.install_link_faults` (bare network).  All
+randomness consumed while executing a plan is drawn from dedicated streams
+of the simulator's seeded RNG registry (``faults.network``,
+``faults.control``), so a given ``(seed, plan)`` pair always produces the
+same run — and an **empty plan consumes nothing at all**, keeping golden
+traces byte-identical to runs without the fault subsystem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+#: Node behaviours a :class:`NodeFault` may request.
+#:
+#: * ``"crash"`` — the node stops responding (and heartbeating); with a
+#:   ``stop`` time it recovers (crash-recover).
+#: * ``"silent"`` — keeps heartbeating but ignores every other protocol
+#:   message (the paper's asynchronous adversary).
+#: * ``"mute"`` — completely unresponsive, heartbeats included.
+#: * ``"evict_attack"`` — the §6.1.3 synchronous adversary: heartbeats only,
+#:   plus periodic eviction proposals against correct vgroup peers.
+#: * ``"equivocate"`` — participates in gossip but sends conflicting payload
+#:   variants of each forwarded group message to disjoint halves of the
+#:   destination vgroup.
+NODE_BEHAVIOURS = ("crash", "silent", "mute", "evict_attack", "equivocate")
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Cut ``members`` off from the network for a time window.
+
+    Uses the network's partition machinery, whose semantics are *per-node
+    isolation*: a partitioned address can neither send nor receive — not
+    even to other members of the same partition.  This models nodes behind
+    a failed switch/uplink (each looks crashed to everyone, including each
+    other), which is also how the paper's fault injection treats
+    unreachable nodes.  A *side-preserving* partition (both sides stay
+    internally connected) is not yet expressible — see ROADMAP open items;
+    approximate one today with ``LinkFault`` rules between the two sides.
+
+    Attributes:
+        members: Addresses to cut off.
+        start: Simulated time at which the partition forms.
+        heal_at: Simulated time at which it heals (``None`` = permanent).
+    """
+
+    members: Tuple[str, ...]
+    start: float = 0.0
+    heal_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ValueError("a partition needs at least one member")
+        if self.start < 0.0:
+            raise ValueError("partition start must be non-negative")
+        if self.heal_at is not None and self.heal_at <= self.start:
+            raise ValueError("heal_at must be after start")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A time-windowed perturbation of matching network links.
+
+    ``src``/``dst`` of ``None`` match any sender/receiver, so a single rule
+    can degrade the whole network, one node's uplink (``src=addr``) or
+    downlink (``dst=addr``), or one directed link.
+
+    Attributes:
+        src: Sender address pattern (``None`` = any).
+        dst: Receiver address pattern (``None`` = any).
+        start: Window start (inclusive).
+        stop: Window end (exclusive; ``inf`` = forever).
+        loss: Probability a matching message is dropped.
+        duplicate: Probability a matching message is delivered twice.
+        extra_delay: Deterministic extra propagation delay in seconds.
+        jitter: Upper bound of an additional uniform random delay.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    start: float = 0.0
+    stop: float = math.inf
+    loss: float = 0.0
+    duplicate: float = 0.0
+    extra_delay: float = 0.0
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1]")
+        if self.extra_delay < 0.0 or self.jitter < 0.0:
+            raise ValueError("extra_delay and jitter must be non-negative")
+        if self.stop <= self.start:
+            raise ValueError("stop must be after start")
+
+    def matches(self, sender: str, receiver: str, now: float) -> bool:
+        """Whether this rule applies to a message on ``sender -> receiver`` at ``now``."""
+        if now < self.start or now >= self.stop:
+            return False
+        if self.src is not None and self.src != sender:
+            return False
+        if self.dst is not None and self.dst != receiver:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Switch one node into a faulty behaviour for a time window.
+
+    Attributes:
+        address: The node whose behaviour changes.
+        behaviour: One of :data:`NODE_BEHAVIOURS`.
+        start: Time at which the behaviour begins.
+        stop: Time at which the node returns to correct behaviour
+            (``None`` = never; for ``"crash"`` a ``stop`` makes it
+            crash-recover).
+        attack_period: Interval between eviction proposals for
+            ``"evict_attack"``.
+    """
+
+    address: str
+    behaviour: str = "crash"
+    start: float = 0.0
+    stop: Optional[float] = None
+    attack_period: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in NODE_BEHAVIOURS:
+            raise ValueError(
+                f"unknown behaviour {self.behaviour!r}; expected one of {NODE_BEHAVIOURS}"
+            )
+        if self.start < 0.0:
+            raise ValueError("start must be non-negative")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("stop must be after start")
+        if self.attack_period <= 0.0:
+            raise ValueError("attack_period must be positive")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, composable bundle of faults applied to one run.
+
+    An empty plan is the identity: applying it schedules nothing, installs
+    nothing and draws no randomness, so runs are byte-identical to runs
+    without the fault subsystem (enforced by the golden-trace tests).
+    """
+
+    partitions: Tuple[Partition, ...] = ()
+    links: Tuple[LinkFault, ...] = ()
+    nodes: Tuple[NodeFault, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not (self.partitions or self.links or self.nodes)
+
+    def faulted_addresses(self) -> FrozenSet[str]:
+        """Every address named by a partition or node fault.
+
+        Invariant monitors exempt these from the "correct node evicted"
+        check: a partitioned or crashed node missing heartbeats *should* be
+        evicted, exactly as the paper treats unresponsive nodes as failed.
+        """
+        addresses = set()
+        for partition in self.partitions:
+            addresses.update(partition.members)
+        for node_fault in self.nodes:
+            addresses.add(node_fault.address)
+        return frozenset(addresses)
+
+    def compose(self, other: "FaultPlan") -> "FaultPlan":
+        """The plan applying both this plan's faults and ``other``'s."""
+        return FaultPlan(
+            partitions=self.partitions + other.partitions,
+            links=self.links + other.links,
+            nodes=self.nodes + other.nodes,
+        )
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return self.compose(other)
+
+
+__all__ = ["FaultPlan", "Partition", "LinkFault", "NodeFault", "NODE_BEHAVIOURS"]

@@ -1,0 +1,619 @@
+"""The adversarial scenario matrix: fault plans × workloads, run in parallel.
+
+Every scenario builds a monitored :class:`~repro.core.cluster.AtumCluster`,
+applies a named :class:`~repro.faults.plan.FaultPlan`, drives one of the
+paper's workloads (broadcast dissemination, continuous churn, growth) and
+reports a *robustness row*: the invariant-monitor outcome, delivery/
+completion statistics, fault-subsystem counters, and — via
+:func:`repro.analysis.robustness.scenario_robustness_row` — the paper's
+analytical failure probabilities for the same fault fraction.
+
+Because every fault stays inside the paper's fault model (Byzantine
+placement is capped to a strict minority of every vgroup, partitioned and
+crashed nodes are exempt from the wrongful-eviction check), **zero invariant
+violations is the expected outcome of the whole matrix** — a non-zero count
+is a protocol bug, not an unlucky roll.
+
+Scenarios are seeded and deterministic; :func:`scenario_shard` is a
+module-level (picklable) entry point so :func:`run_matrix` can fan seeds
+across worker processes through :mod:`repro.sim.runpar` and merge the rows
+deterministically.
+
+CLI::
+
+    python -m repro.faults.scenarios --matrix small --seeds 2 \\
+        --output FAULT_MATRIX.json
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.robustness import scenario_robustness_row
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters
+from repro.faults.behaviours import apply_plan
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.plan import FaultPlan, LinkFault, NodeFault, Partition
+from repro.sim.rng import derive_seed
+from repro.sim.runpar import merge_shards, run_sharded
+from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
+from repro.workloads.byzantine import select_byzantine_per_group
+from repro.workloads.churn import ChurnConfig, ChurnWorkload
+from repro.workloads.growth import GrowthConfig, GrowthWorkload
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One (plan, workload) combination of the matrix.
+
+    Attributes:
+        name: Unique ``workload/plan`` identifier.
+        workload: ``"broadcast"``, ``"churn"`` or ``"growth"``.
+        plan: Key into :data:`PLAN_BUILDERS`.
+        nodes: System size (``build_static`` base; growth grows beyond it).
+        fault_fraction: Fraction handed to the plan builder (Byzantine
+            share, partition share, ...).
+        heartbeats: Whether nodes run the heartbeat/eviction layer.
+        heartbeat_period: Heartbeat interval when enabled.
+        broadcasts / interval / settle_time: Broadcast-workload knobs.
+        churn_rate / churn_duration: Churn-workload knobs.
+        growth_target: Growth-workload target size.
+        delivery_bound: The ≥ correct-fraction delivery bound this scenario
+            is expected to meet (broadcast workloads only; reported, and
+            asserted by the matrix tests for the partition-heal scenario).
+    """
+
+    name: str
+    workload: str
+    plan: str
+    nodes: int = 30
+    fault_fraction: float = 0.2
+    heartbeats: bool = False
+    heartbeat_period: float = 2.0
+    broadcasts: int = 6
+    interval: float = 0.5
+    settle_time: float = 30.0
+    churn_rate: float = 10.0
+    churn_duration: float = 90.0
+    growth_target: int = 40
+    delivery_bound: float = 1.0
+
+
+# --------------------------------------------------------------------- plans
+
+
+def _plan_none(scenario: Scenario, cluster: AtumCluster, rng: random.Random) -> FaultPlan:
+    return FaultPlan()
+
+
+def _plan_partition_heal(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Partition a random ``fault_fraction`` of the system, heal mid-run."""
+    addresses = sorted(cluster.engine.node_group)
+    count = max(1, int(math.floor(scenario.fault_fraction * len(addresses))))
+    members = tuple(sorted(rng.sample(addresses, count)))
+    return FaultPlan(partitions=(Partition(members=members, start=0.6, heal_at=4.0),))
+
+
+def _plan_lossy_links(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return FaultPlan(links=(LinkFault(loss=0.05),))
+
+
+def _plan_delay_spike(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return FaultPlan(
+        links=(LinkFault(extra_delay=0.05, jitter=0.05, start=0.5, stop=4.0),)
+    )
+
+
+def _plan_dup_storm(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return FaultPlan(links=(LinkFault(duplicate=0.25),))
+
+
+def _behaviour_plan(
+    scenario: Scenario,
+    cluster: AtumCluster,
+    rng: random.Random,
+    behaviour: str,
+    start: float = 0.0,
+    stop: Optional[float] = None,
+) -> FaultPlan:
+    """Byzantine behaviour on a per-vgroup strict minority of nodes."""
+    chosen = select_byzantine_per_group(
+        cluster.engine.groups.values(), scenario.fault_fraction, rng
+    )
+    return FaultPlan(
+        nodes=tuple(
+            NodeFault(address=address, behaviour=behaviour, start=start, stop=stop)
+            for address in chosen
+        )
+    )
+
+
+def _plan_silent_minority(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return _behaviour_plan(scenario, cluster, rng, "silent")
+
+
+def _plan_equivocators(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return _behaviour_plan(scenario, cluster, rng, "equivocate")
+
+
+def _plan_evict_attack(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    chosen = select_byzantine_per_group(
+        cluster.engine.groups.values(), scenario.fault_fraction, rng
+    )
+    return FaultPlan(
+        nodes=tuple(
+            NodeFault(
+                address=address,
+                behaviour="evict_attack",
+                start=0.0,
+                attack_period=scenario.heartbeat_period * 2.0,
+            )
+            for address in chosen
+        )
+    )
+
+
+def _plan_crash_recover(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    addresses = sorted(cluster.engine.node_group)
+    count = max(1, int(math.floor(scenario.fault_fraction * len(addresses))))
+    chosen = sorted(rng.sample(addresses, count))
+    return FaultPlan(
+        nodes=tuple(
+            NodeFault(address=address, behaviour="crash", start=5.0, stop=40.0)
+            for address in chosen
+        )
+    )
+
+
+def _plan_kitchen_sink(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Partition + lossy links + a silent minority, composed."""
+    return (
+        _plan_partition_heal(scenario, cluster, rng)
+        + _plan_lossy_links(scenario, cluster, rng)
+        + _behaviour_plan(scenario, cluster, rng, "silent")
+    )
+
+
+PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultPlan]] = {
+    "none": _plan_none,
+    "partition_heal": _plan_partition_heal,
+    "lossy_links": _plan_lossy_links,
+    "delay_spike": _plan_delay_spike,
+    "dup_storm": _plan_dup_storm,
+    "silent_minority": _plan_silent_minority,
+    "equivocators": _plan_equivocators,
+    "evict_attack": _plan_evict_attack,
+    "crash_recover": _plan_crash_recover,
+    "kitchen_sink": _plan_kitchen_sink,
+}
+
+
+# ------------------------------------------------------------------ scenarios
+
+
+def _default_scenarios() -> Dict[str, Scenario]:
+    entries = [
+        Scenario(name="broadcast/none", workload="broadcast", plan="none"),
+        Scenario(
+            name="broadcast/partition_heal",
+            workload="broadcast",
+            plan="partition_heal",
+            fault_fraction=0.2,
+            # The partition is drawn over the whole system, so an unlucky
+            # vgroup can lose its majority and stall broadcasts originating
+            # there until the heal; the bound reflects that worst case.
+            delivery_bound=0.5,
+        ),
+        Scenario(
+            name="broadcast/lossy_links",
+            workload="broadcast",
+            plan="lossy_links",
+            delivery_bound=0.9,
+        ),
+        Scenario(name="broadcast/delay_spike", workload="broadcast", plan="delay_spike"),
+        Scenario(name="broadcast/dup_storm", workload="broadcast", plan="dup_storm"),
+        # Per-vgroup Byzantine quotas are floor(fraction * size) capped to a
+        # strict minority; with the matrix's vgroups of 4-6 members a 0.25
+        # fraction marks exactly one member of most vgroups.
+        Scenario(
+            name="broadcast/silent_minority",
+            workload="broadcast",
+            plan="silent_minority",
+            fault_fraction=0.25,
+        ),
+        Scenario(
+            name="broadcast/equivocators",
+            workload="broadcast",
+            plan="equivocators",
+            fault_fraction=0.25,
+        ),
+        Scenario(
+            name="broadcast/evict_attack",
+            workload="broadcast",
+            plan="evict_attack",
+            fault_fraction=0.25,
+            heartbeats=True,
+            settle_time=40.0,
+        ),
+        # The compound-stress scenario deliberately exceeds the per-vgroup
+        # fault model (a random partition plus a silent minority can strip a
+        # vgroup of its correct majority), so only the *safety* invariants
+        # are guaranteed — delivery is best-effort and the bound is loose.
+        Scenario(
+            name="broadcast/kitchen_sink",
+            workload="broadcast",
+            plan="kitchen_sink",
+            fault_fraction=0.25,
+            delivery_bound=0.25,
+        ),
+        Scenario(name="churn/none", workload="churn", plan="none", nodes=40),
+        # Heartbeats are on so the crash actually bites: crashed nodes stop
+        # heartbeating, get suspected and evicted (engine-level churn alone
+        # never consults node actors), and the recovered nodes must stay out
+        # under their evicted identities while churn keeps reshaping groups.
+        Scenario(
+            name="churn/crash_recover",
+            workload="churn",
+            plan="crash_recover",
+            nodes=40,
+            fault_fraction=0.1,
+            heartbeats=True,
+        ),
+        Scenario(name="growth/none", workload="growth", plan="none", nodes=12),
+        Scenario(
+            name="growth/silent_minority",
+            workload="growth",
+            plan="silent_minority",
+            nodes=12,
+            fault_fraction=0.25,
+        ),
+    ]
+    return {scenario.name: scenario for scenario in entries}
+
+
+SCENARIOS: Dict[str, Scenario] = _default_scenarios()
+
+#: The matrix CI runs: every default scenario (≥ 8 plan × workload combos).
+SMALL_MATRIX: List[str] = list(SCENARIOS)
+
+
+def _correct_origin_fractions(
+    cluster: AtumCluster, workload: BroadcastWorkload, faulted: frozenset
+) -> List[float]:
+    """Delivery fractions of broadcasts whose origin stayed correct.
+
+    The paper's delivery bound covers broadcasts *by correct nodes*; a
+    broadcast originated by a node the plan later silenced, crashed or
+    partitioned carries no guarantee (its SMR phase may never complete), so
+    it is excluded from the bound — it still shows up in the run's delivery
+    counters, just not in the bound check.
+    """
+    fractions: List[float] = []
+    for bcast_id, _started_at in workload.broadcasts:
+        # bcast ids are "bc-<address>-<counter>" (addresses may contain dashes).
+        origin = bcast_id[3 : bcast_id.rfind("-")]
+        node = cluster.nodes.get(origin)
+        if origin in faulted or (node is not None and not node.is_correct):
+            continue
+        fractions.append(cluster.delivery_fraction(bcast_id))
+    return fractions
+
+
+def _resolve(scenario: "str | Scenario") -> Scenario:
+    if isinstance(scenario, Scenario):
+        return scenario
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------- runs
+
+
+def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
+    """Run one seeded scenario to quiescence; returns its robustness row."""
+    scenario = _resolve(scenario)
+    params = AtumParameters(
+        hc=3,
+        rwl=5,
+        gmax=6,
+        gmin=3,
+        round_duration=0.5,
+        heartbeat_period=scenario.heartbeat_period,
+    )
+    cluster = AtumCluster(params, seed=seed, enable_heartbeats=scenario.heartbeats)
+    monitor = InvariantMonitor()
+    cluster.attach_monitor(monitor)
+    addresses = [f"n{i}" for i in range(scenario.nodes)]
+    cluster.build_static(addresses)
+
+    rng = random.Random(derive_seed(seed, f"faults.select:{scenario.name}"))
+    plan = PLAN_BUILDERS[scenario.plan](scenario, cluster, rng)
+    apply_plan(cluster, plan, monitor=monitor)
+
+    mean_delivery_fraction: Optional[float] = None
+    min_delivery_fraction: Optional[float] = None
+    completion_ratio: Optional[float] = None
+
+    if scenario.workload == "broadcast":
+        workload = BroadcastWorkload(
+            cluster,
+            BroadcastWorkloadConfig(
+                count=scenario.broadcasts,
+                interval=scenario.interval,
+                settle_time=scenario.settle_time,
+            ),
+        )
+        workload.run()
+        fractions = _correct_origin_fractions(
+            cluster, workload, plan.faulted_addresses()
+        )
+        if fractions:
+            mean_delivery_fraction = sum(fractions) / len(fractions)
+            min_delivery_fraction = min(fractions)
+    elif scenario.workload == "churn":
+        churn = ChurnWorkload(
+            cluster.engine,
+            ChurnConfig(
+                rate_per_minute=scenario.churn_rate, duration=scenario.churn_duration
+            ),
+            # Join through the cluster so newcomers get heartbeating actors.
+            join_fn=cluster.join,
+        )
+        completion_ratio = churn.run().completion_ratio
+    elif scenario.workload == "growth":
+        growth = GrowthWorkload(
+            cluster.engine,
+            GrowthConfig(
+                target_size=scenario.growth_target,
+                join_fraction_per_minute=0.4,
+                batch_interval=5.0,
+                provisioning_delay=2.0,
+                max_duration=4_000.0,
+            ),
+        )
+        growth.run()
+    else:
+        raise ValueError(f"unknown workload {scenario.workload!r}")
+
+    cluster.run_until_membership_quiescent(max_time=120.0)
+    monitor.finalize()
+    summary = monitor.summary()
+    metrics = cluster.sim.metrics
+
+    if scenario.workload == "broadcast":
+        # A broadcast scenario that measured no correct-origin broadcast has
+        # not demonstrated its bound — never report it as vacuously met.
+        delivery_bound_met = (
+            mean_delivery_fraction is not None
+            and mean_delivery_fraction >= scenario.delivery_bound
+        )
+    else:
+        delivery_bound_met = True
+
+    return {
+        "scenario": scenario.name,
+        "workload": scenario.workload,
+        "plan": scenario.plan,
+        "seed": seed,
+        "system_size": cluster.engine.system_size,
+        "group_count": cluster.engine.group_count,
+        "violations": summary["violations"],
+        "violations_by_kind": summary["by_kind"],
+        "checks_run": summary["checks_run"],
+        "evictions_observed": summary["evictions_observed"],
+        "mean_delivery_fraction": mean_delivery_fraction,
+        "min_delivery_fraction": min_delivery_fraction,
+        "delivery_bound": scenario.delivery_bound,
+        "delivery_bound_met": delivery_bound_met,
+        "completion_ratio": completion_ratio,
+        "counters": {
+            "net.messages_lost": metrics.counter("net.messages_lost"),
+            "net.messages_partitioned": metrics.counter("net.messages_partitioned"),
+            "faults.messages_dropped": metrics.counter("faults.messages_dropped"),
+            "faults.messages_duplicated": metrics.counter("faults.messages_duplicated"),
+            "faults.messages_delayed": metrics.counter("faults.messages_delayed"),
+            "faults.partitions_formed": metrics.counter("faults.partitions_formed"),
+            "faults.partitions_healed": metrics.counter("faults.partitions_healed"),
+            "faults.evictions_proposed_by_byzantine": metrics.counter(
+                "faults.evictions_proposed_by_byzantine"
+            ),
+            "group.equivocations_sent": metrics.counter("group.equivocations_sent"),
+            "membership.joins_completed": metrics.counter("membership.joins_completed"),
+            "membership.leaves_completed": metrics.counter("membership.leaves_completed"),
+            "membership.evictions_started": metrics.counter("membership.evictions_started"),
+        },
+    }
+
+
+def scenario_shard(seed: int, name: str) -> Dict[str, Any]:
+    """Picklable shard for :mod:`repro.sim.runpar`: one seeded scenario run."""
+    row = run_scenario(seed, name)
+    counters = {
+        "scenario.runs": 1.0,
+        "scenario.violations": float(row["violations"]),
+        "scenario.checks_run": float(row["checks_run"]),
+        "scenario.evictions_observed": float(row["evictions_observed"]),
+        "scenario.delivery_bound_met": 1.0 if row["delivery_bound_met"] else 0.0,
+    }
+    counters.update({name: float(value) for name, value in row["counters"].items()})
+    histograms: Dict[str, List[float]] = {}
+    if row["mean_delivery_fraction"] is not None:
+        histograms["scenario.delivery_fraction"] = [row["mean_delivery_fraction"]]
+    if row["completion_ratio"] is not None:
+        histograms["scenario.completion_ratio"] = [row["completion_ratio"]]
+    return {"counters": counters, "histograms": histograms}
+
+
+def matrix_cell_shard(index: int, cells: Sequence[Sequence[Any]]) -> Dict[str, Any]:
+    """Picklable shard running one ``(scenario_name, seed)`` cell of the matrix.
+
+    Indexing into a shared ``cells`` list lets :func:`run_matrix` fan the
+    *entire* matrix through one :func:`repro.sim.runpar.run_sharded` call (a
+    single worker pool at full parallelism) even though every cell carries a
+    different scenario; ``run_sharded``'s per-call kwargs are shard-invariant.
+    """
+    name, seed = cells[index]
+    return scenario_shard(seed, name)
+
+
+def run_matrix(
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (7, 11),
+    workers: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Run the scenario matrix (scenarios × seeds) and return robustness rows.
+
+    All cells fan out over one :func:`repro.sim.runpar.run_sharded` pool;
+    results come back in input order, so per-scenario merges stay in seed
+    order and the rows are deterministic for any worker count.
+    """
+    scenario_names = list(names or SMALL_MATRIX)
+    seeds = list(seeds)
+    cells = [(name, seed) for name in scenario_names for seed in seeds]
+    shard_results = run_sharded(
+        "repro.faults.scenarios:matrix_cell_shard",
+        list(range(len(cells))),
+        workers=workers,
+        kwargs={"cells": cells},
+    )
+    rows: List[Dict[str, Any]] = []
+    for position, name in enumerate(scenario_names):
+        scenario = _resolve(name)
+        merged = merge_shards(
+            shard_results[position * len(seeds) : (position + 1) * len(seeds)]
+        )
+        counters = merged["counters"]
+        runs = counters.get("scenario.runs", 0.0) or 1.0
+        fraction_hist = merged["histograms"].get("scenario.delivery_fraction")
+        completion_hist = merged["histograms"].get("scenario.completion_ratio")
+        theory = scenario_robustness_row(
+            system_size=scenario.growth_target
+            if scenario.workload == "growth"
+            else scenario.nodes,
+            average_group_size=4.5,  # midpoint of the matrix's gmin=3 / gmax=6
+            fault_fraction=scenario.fault_fraction
+            if scenario.plan not in ("none", "delay_spike", "dup_storm", "lossy_links")
+            else 0.0,
+            synchronous=True,
+        )
+        rows.append(
+            {
+                "scenario": scenario.name,
+                "workload": scenario.workload,
+                "plan": scenario.plan,
+                "seeds": list(seeds),
+                "violations": counters.get("scenario.violations", 0.0),
+                "checks_run": counters.get("scenario.checks_run", 0.0),
+                "evictions_observed": counters.get("scenario.evictions_observed", 0.0),
+                "delivery_bound": scenario.delivery_bound,
+                "delivery_bound_met_runs": counters.get("scenario.delivery_bound_met", 0.0),
+                "runs": runs,
+                "mean_delivery_fraction": fraction_hist.mean if fraction_hist else None,
+                "mean_completion_ratio": completion_hist.mean if completion_hist else None,
+                "faults.messages_dropped": counters.get("faults.messages_dropped", 0.0),
+                "faults.messages_duplicated": counters.get("faults.messages_duplicated", 0.0),
+                "theory": theory,
+            }
+        )
+    return rows
+
+
+def write_matrix_report(
+    path: str = "FAULT_MATRIX.json",
+    names: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = (7, 11),
+    workers: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run the matrix and persist the robustness table to ``path``."""
+    import json
+
+    rows = run_matrix(names=names, seeds=seeds, workers=workers)
+    report = {
+        "matrix": rows,
+        "scenarios": len(rows),
+        "total_violations": sum(row["violations"] for row in rows),
+        "all_bounds_met": all(
+            row["delivery_bound_met_runs"] == row["runs"] for row in rows
+        ),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--matrix",
+        default="small",
+        choices=("small",),
+        help="which scenario set to run (small = every default scenario)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="run only the named scenario(s) instead of the matrix",
+    )
+    parser.add_argument("--seeds", type=int, default=2, help="seeds per scenario")
+    parser.add_argument("--base-seed", type=int, default=7, help="first seed")
+    parser.add_argument("--workers", type=int, default=None, help="worker processes")
+    parser.add_argument("--output", default="FAULT_MATRIX.json", help="report path")
+    args = parser.parse_args(argv)
+    names = args.scenario or SMALL_MATRIX
+    seeds = [args.base_seed + 4 * index for index in range(args.seeds)]
+    report = write_matrix_report(
+        args.output, names=names, seeds=seeds, workers=args.workers
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["total_violations"]:
+        print(f"FAILED: {report['total_violations']} invariant violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+__all__ = [
+    "Scenario",
+    "SCENARIOS",
+    "SMALL_MATRIX",
+    "PLAN_BUILDERS",
+    "run_scenario",
+    "scenario_shard",
+    "matrix_cell_shard",
+    "run_matrix",
+    "write_matrix_report",
+]

@@ -78,10 +78,19 @@ class HeartbeatMonitor:
     # ---------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
-        """Begin sending heartbeats and checking peers."""
+        """Begin sending heartbeats and checking peers.
+
+        A (re)starting monitor grants every peer a fresh deadline: a node
+        recovering from a crash would otherwise compare ``now`` against
+        pre-crash ``last_seen`` timestamps and instantly mass-suspect every
+        correct peer — and a handful of such recoveries would assemble a
+        wrongful eviction majority.
+        """
         if self.running:
             return
         self.running = True
+        self.last_seen.clear()
+        self.suspected.clear()
         self._tick()
 
     def stop(self) -> None:
@@ -133,11 +142,15 @@ class HeartbeatMonitor:
             if peer not in current_peers:
                 self.forget(peer)
                 continue
-            if peer in suspected:
-                continue
             if now - seen_at > deadline:
-                suspected.add(peer)
-                self.sim.metrics.increment("group.evictions_proposed")
+                if peer not in suspected:
+                    suspected.add(peer)
+                    self.sim.metrics.increment("group.evictions_proposed")
+                # Re-report every tick while the peer stays unresponsive:
+                # eviction votes age out at the cluster (so a Byzantine
+                # minority cannot bank stale accusations), which means live
+                # suspicions must keep refreshing or a genuinely dead peer
+                # whose accusers' reports expired could linger forever.
                 self.suspect_fn(peer)
 
 

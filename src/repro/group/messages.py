@@ -112,6 +112,11 @@ class GroupMessenger:
         self.payload_bytes = payload_bytes
         self.digest_bytes = digest_bytes
         self.use_digest_optimization = use_digest_optimization
+        # Optional observation hook (see repro.faults.invariants): called with
+        # (envelope, senders) just before an accepted group message is
+        # delivered.  ``None`` costs one attribute check per *accept* (not per
+        # share) and never changes event order, so golden traces are safe.
+        self.accept_audit: Optional[Callable[[GroupMessageEnvelope, Set[str]], None]] = None
         # Accumulation state keyed by gm-id alone (the overwhelmingly common
         # case: one digest per gm-id).  Shares carrying a *different* digest
         # for an already-tracked gm-id — only Byzantine equivocation produces
@@ -192,6 +197,49 @@ class GroupMessenger:
         self._metrics_increment("group.shares_sent", len(members))
         return identifier
 
+    def send_equivocating(
+        self,
+        target_view: VGroupView,
+        kind: str,
+        payload: Any,
+        forged_payload: Any,
+        gm_id: Optional[str] = None,
+        payload_bytes: Optional[int] = None,
+    ) -> str:
+        """Byzantine equivocation: conflicting shares to halves of the target.
+
+        The first half of the destination vgroup receives ``payload``, the
+        second half ``forged_payload`` — same ``gm_id``, different digests.
+        Receivers accumulate the conflicting digest in its own equivocation
+        bucket (see :meth:`handle`), so a Byzantine minority can never push
+        the forged variant past the majority-acceptance rule.  Both shares
+        carry full payloads: an equivocator gains nothing from the digest
+        optimisation and a full forged copy is the stronger attack.
+        """
+        own_view = self.own_view_fn()
+        identifier = gm_id or self.next_gm_id(kind)
+        size = payload_bytes if payload_bytes is not None else self.payload_bytes
+        members = target_view.members
+        half = len(members) // 2
+        honest_targets, forged_targets = members[:half], members[half:]
+        for chunk, chunk_payload in ((honest_targets, payload), (forged_targets, forged_payload)):
+            if not chunk:
+                continue
+            envelope = GroupMessageEnvelope(
+                gm_id=identifier,
+                source_group=own_view.group_id,
+                source_epoch=own_view.epoch,
+                target_group=target_view.group_id,
+                kind=kind,
+                payload=chunk_payload,
+                digest=digest_object(chunk_payload),
+                sender_group_size=own_view.size,
+            )
+            self._send_fanout(self._address, chunk, envelope, size)
+        self._metrics_increment("group.shares_sent", len(members))
+        self._metrics_increment("group.equivocations_sent")
+        return identifier
+
     # ---------------------------------------------------------------- receiving
 
     def handle(self, envelope: GroupMessageEnvelope, sender: str) -> None:
@@ -239,6 +287,8 @@ class GroupMessenger:
                 for key in [k for k in self._conflicting if k[0] == gm_id]:
                     del self._conflicting[key]
             self._metrics_increment("group.messages_accepted")
+            if self.accept_audit is not None:
+                self.accept_audit(envelope, senders)
             self.on_accept(
                 envelope.kind, state.full_payload, envelope.source_group, gm_id
             )

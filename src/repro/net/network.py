@@ -185,6 +185,11 @@ class Network:
         self._actors: Dict[str, Actor] = {}
         self._partitioned: Set[str] = set()
         self._rng = sim.rng.stream("network")
+        # Optional fault injector (see repro.faults): when installed, every
+        # send path detours through _schedule_perturbed.  ``None`` keeps the
+        # inlined fast paths bit-identical to a build without the fault
+        # subsystem — one attribute check, no extra RNG draws.
+        self._fault_injector = None
         # Tracks when each receiving node's downlink frees up, used to model
         # queueing of large transfers at the receiver.
         self._downlink_free_at: Dict[str, float] = {}
@@ -213,6 +218,20 @@ class Network:
 
     def __contains__(self, address: str) -> bool:
         return address in self._actors
+
+    # ------------------------------------------------------------------- faults
+
+    def install_fault_injector(self, injector) -> None:
+        """Route all traffic through ``injector`` (see :mod:`repro.faults`).
+
+        The injector must expose ``perturb(sender, receiver, now)`` returning
+        ``None`` (no matching rule) or ``(drop, extra_delay, copies)``.
+        """
+        self._fault_injector = injector
+
+    def clear_fault_injector(self) -> None:
+        """Restore the unperturbed fast paths."""
+        self._fault_injector = None
 
     # --------------------------------------------------------------- partitions
 
@@ -276,6 +295,14 @@ class Network:
             return 0
         counters = self._counters
         counters["net.messages_sent"] += float(len(batch))
+        if self._fault_injector is not None:
+            total_bytes = 0
+            dispatched = 0
+            for receiver, payload, size_bytes in batch:
+                total_bytes += size_bytes
+                dispatched += self._schedule_perturbed(sender, receiver, payload, size_bytes)
+            counters["net.bytes_sent"] += float(total_bytes)
+            return dispatched
         sim = self.sim
         now = sim._now
         rng = self._rng
@@ -376,6 +403,11 @@ class Network:
         count = len(batch)
         counters["net.messages_sent"] += float(count)
         counters["net.bytes_sent"] += float(size_bytes * count)
+        if self._fault_injector is not None:
+            dispatched = 0
+            for receiver in batch:
+                dispatched += self._schedule_perturbed(sender, receiver, payload, size_bytes)
+            return dispatched
         sim = self.sim
         now = sim._now
         partitioned = self._partitioned
@@ -475,6 +507,8 @@ class Network:
         counters = self._counters
         counters["net.messages_sent"] += 1.0
         counters["net.bytes_sent"] += float(size_bytes)
+        if self._fault_injector is not None:
+            return self._schedule_perturbed(sender, receiver, payload, size_bytes) > 0
         partitioned = self._partitioned
         if partitioned and (sender in partitioned or receiver in partitioned):
             counters["net.messages_partitioned"] += 1.0
@@ -511,6 +545,67 @@ class Network:
 
     # ----------------------------------------------------------------- internals
 
+    def _schedule_perturbed(
+        self, sender: str, receiver: str, payload: Any, size_bytes: int
+    ) -> int:
+        """Route one message through the installed fault injector.
+
+        Mirrors the partition/loss accounting and float arithmetic of the
+        fast paths exactly, then applies the injector verdict: drop the
+        message, add propagation delay, or deliver extra copies (each copy
+        passes through the receiver's downlink serialization, so duplication
+        storms consume real bandwidth).  Returns 1 when at least one copy was
+        scheduled, 0 when the message was dropped.
+        """
+        counters = self._counters
+        partitioned = self._partitioned
+        if partitioned and (sender in partitioned or receiver in partitioned):
+            counters["net.messages_partitioned"] += 1.0
+            return 0
+        config = self.config
+        rng = self._rng
+        loss = config.loss_probability
+        if loss > 0.0 and rng.random() < loss:
+            counters["net.messages_lost"] += 1.0
+            return 0
+        sim = self.sim
+        now = sim._now
+        verdict = self._fault_injector.perturb(sender, receiver, now)
+        if verdict is None:
+            extra_delay = 0.0
+            copies = 1
+        else:
+            dropped, extra_delay, copies = verdict
+            if dropped:
+                counters["net.messages_lost"] += 1.0
+                return 0
+        latency_model = self.latency_model
+        constant_latency = latency_model.constant_latency
+        propagation = (
+            constant_latency
+            if constant_latency is not None
+            else latency_model.sample(rng, sender, receiver)
+        ) + extra_delay
+        transfer = (size_bytes + config.headers_bytes) / config.bandwidth_bytes_per_s
+        downlink = self._downlink_free_at
+        queue = sim.queue
+        heap = queue._heap
+        seq = queue._seq
+        for _ in range(copies):
+            arrival_start = now + propagation
+            free_at = downlink.get(receiver, 0.0)
+            if free_at > arrival_start:
+                arrival_start = free_at
+            delivery_time = arrival_start + transfer
+            downlink[receiver] = delivery_time
+            scheduled = now + (delivery_time - now)
+            event = _Delivery(scheduled, self, sender, receiver, payload, now)
+            heappush(heap, (scheduled, 0, seq, event))
+            seq += 1
+        queue._live += seq - queue._seq
+        queue._seq = seq
+        return 1
+
     def _dispatch(self, message: Message) -> Optional[Message]:
         metrics = self.sim.metrics
         metrics.increment("net.messages_sent")
@@ -519,6 +614,11 @@ class Network:
 
     def _route(self, message: Message) -> Optional[Message]:
         """Drop-check, sample latency and schedule delivery for one message."""
+        if self._fault_injector is not None:
+            dispatched = self._schedule_perturbed(
+                message.sender, message.receiver, message.payload, message.size_bytes
+            )
+            return message if dispatched else None
         if self._partitioned and (
             message.sender in self._partitioned or message.receiver in self._partitioned
         ):

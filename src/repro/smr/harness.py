@@ -124,6 +124,18 @@ class ReplicaGroupHarness:
         """Return decided op-id logs of all correct replicas."""
         return [[op.op_id for op in actor.decided] for actor in self.correct_actors()]
 
+    def agreement_violations(self) -> List[str]:
+        """Agreement-invariant check: correct logs must be prefix-consistent.
+
+        Delegates to :func:`repro.faults.invariants.check_agreement_logs`;
+        an empty list means every pair of correct replicas decided the same
+        operations in the same order (lagging replicas allowed, diverging
+        ones are a safety violation).
+        """
+        from repro.faults.invariants import check_agreement_logs
+
+        return check_agreement_logs(self.decided_logs())
+
     def all_correct_decided(self, op_id: str) -> bool:
         return all(
             op_id in {op.op_id for op in actor.decided} for actor in self.correct_actors()

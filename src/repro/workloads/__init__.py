@@ -13,7 +13,7 @@
 from repro.workloads.growth import GrowthConfig, GrowthWorkload
 from repro.workloads.churn import ChurnConfig, ChurnResult, ChurnWorkload, max_sustainable_churn
 from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
-from repro.workloads.byzantine import select_byzantine
+from repro.workloads.byzantine import select_byzantine, select_byzantine_per_group
 
 __all__ = [
     "GrowthConfig",
@@ -25,4 +25,5 @@ __all__ = [
     "BroadcastWorkload",
     "BroadcastWorkloadConfig",
     "select_byzantine",
+    "select_byzantine_per_group",
 ]

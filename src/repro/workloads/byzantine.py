@@ -4,16 +4,33 @@ The paper injects faults by modifying node behaviour (section 6.1.3): in the
 synchronous deployment, Byzantine nodes keep sending heartbeats (so they are
 not evicted) but otherwise do not participate, and periodically propose to
 evict correct nodes; in the asynchronous deployment faulty nodes simply stay
-quiet.  Because a Byzantine minority can neither forge group messages nor
-reach agreement quorums, both behaviours reduce to "the faulty node
-contributes nothing" from the perspective of correct nodes -- which is what
-the ``silent`` behaviour of :class:`repro.core.node.AtumNode` implements.
+quiet.  The node-level behaviours themselves ("silent", "evict_attack",
+"equivocate", crash-recover) live in :class:`repro.core.node.AtumNode` and
+:mod:`repro.faults.behaviours`; this module selects *which* nodes misbehave.
+
+Both selectors enforce the paper's standing assumption that Byzantine nodes
+are a strict minority — globally for :func:`select_byzantine`, per vgroup
+for :func:`select_byzantine_per_group` — because every safety argument
+(group-message majorities, SMR quorums, eviction votes) collapses once a
+majority colludes.  Pass ``allow_majority=True`` only when deliberately
+stepping outside the paper's fault model.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
+
+
+def _reject_majority(count: int, population: int, allow_majority: bool, scope: str) -> None:
+    if allow_majority or count == 0:
+        return
+    if 2 * count >= population:
+        raise ValueError(
+            f"selecting {count} Byzantine nodes out of {population} {scope} breaks the "
+            f"paper's strict-minority assumption; pass allow_majority=True to force it"
+        )
 
 
 def select_byzantine(
@@ -21,6 +38,7 @@ def select_byzantine(
     count: Optional[int] = None,
     fraction: Optional[float] = None,
     rng: Optional[random.Random] = None,
+    allow_majority: bool = False,
 ) -> List[str]:
     """Select a random subset of addresses to behave Byzantine.
 
@@ -28,18 +46,57 @@ def select_byzantine(
     uniform, matching the paper's random placement of faulty nodes (random
     walk shuffling is precisely what makes this the worst an adversary can do
     without a join-leave attack).
+
+    ``fraction`` rounds *down*: ``round`` could turn a one-third fraction
+    into a Byzantine majority on small clusters (5 nodes at 0.5 would give
+    banker's-rounded surprises), and the paper's adversary controls *at
+    most* the stated fraction.  Selections amounting to half or more of the
+    addresses are rejected unless ``allow_majority=True``.
     """
     if (count is None) == (fraction is None):
         raise ValueError("specify exactly one of count or fraction")
     if fraction is not None:
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must be in [0, 1]")
-        count = int(round(fraction * len(addresses)))
+        count = int(math.floor(fraction * len(addresses)))
     assert count is not None
     if count > len(addresses):
         raise ValueError("cannot select more Byzantine nodes than addresses")
+    _reject_majority(count, len(addresses), allow_majority, "addresses")
     rng = rng or random.Random(0)
     return sorted(rng.sample(list(addresses), count))
 
 
-__all__ = ["select_byzantine"]
+def select_byzantine_per_group(
+    views: Iterable,
+    fraction: float,
+    rng: Optional[random.Random] = None,
+) -> List[str]:
+    """Select Byzantine nodes capped to a strict minority of *every* vgroup.
+
+    A globally uniform selection can, by chance, hand the adversary a
+    majority inside one unlucky vgroup — exactly the event the paper's
+    analysis (section 3.1) bounds the probability of.  Adversarial scenario
+    runs that must stay inside the fault model (so that zero invariant
+    violations is the *expected* outcome) use this placement instead: per
+    vgroup, ``floor(fraction * size)`` members capped at ``(size - 1) // 2``.
+
+    ``views`` is an iterable of :class:`~repro.group.vgroup.VGroupView`
+    (anything with ``group_id`` and ``members``); iteration order is
+    normalised by ``group_id`` so the selection depends only on the views
+    and the RNG state.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = rng or random.Random(0)
+    chosen: List[str] = []
+    for view in sorted(views, key=lambda v: v.group_id):
+        size = len(view.members)
+        quota = min(int(math.floor(fraction * size)), (size - 1) // 2)
+        if quota <= 0:
+            continue
+        chosen.extend(rng.sample(list(view.members), quota))
+    return sorted(chosen)
+
+
+__all__ = ["select_byzantine", "select_byzantine_per_group"]

@@ -13,7 +13,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
-from repro.overlay.membership import MembershipEngine
+from repro.overlay.membership import MembershipEngine, MembershipError
 
 
 @dataclass
@@ -46,6 +46,7 @@ class ChurnResult:
     pending_at_end: int
     mean_join_latency: float
     sustained: bool
+    leave_failures: int = 0
 
     @property
     def completion_ratio(self) -> float:
@@ -55,12 +56,25 @@ class ChurnResult:
 
 
 class ChurnWorkload:
-    """Applies continuous churn to a grown membership engine."""
+    """Applies continuous churn to a grown membership engine.
 
-    def __init__(self, engine: MembershipEngine, config: ChurnConfig) -> None:
+    ``join_fn`` overrides how newcomers enter the system (default:
+    ``engine.join``).  Cluster-level scenarios pass ``cluster.join`` so that
+    re-joined nodes get real actors — with heartbeats enabled, an
+    engine-only member that never heartbeats would be promptly evicted by
+    its vgroup peers.
+    """
+
+    def __init__(
+        self,
+        engine: MembershipEngine,
+        config: ChurnConfig,
+        join_fn: Optional[Callable[[str], object]] = None,
+    ) -> None:
         self.engine = engine
         self.config = config
         self.sim = engine.sim
+        self._join = join_fn or engine.join
         self._rng = self.sim.rng.stream("churn-workload")
         self._counter = itertools.count(0)
         self._requested = 0
@@ -101,6 +115,7 @@ class ChurnWorkload:
             pending_at_end=pending,
             mean_join_latency=mean_latency,
             sustained=sustained,
+            leave_failures=int(self.sim.metrics.counter("churn.leave_failed")),
         )
 
     def _rejoin_one(self) -> None:
@@ -108,13 +123,19 @@ class ChurnWorkload:
         if not members:
             return
         victim = members[self._rng.randrange(len(members))]
-        self._requested += 1
         try:
             self.engine.leave(victim)
-        except Exception:
+        except MembershipError:
+            # A concurrent operation can remove the victim between the
+            # snapshot above and the call; such a tick drove no re-join, so
+            # it must not count towards the requested rate (it would skew
+            # completion_ratio and the sustained verdict).  Any other
+            # exception is an engine bug and propagates.
+            self.sim.metrics.increment("churn.leave_failed")
             return
+        self._requested += 1
         newcomer = f"churn-{next(self._counter)}"
-        self.engine.join(newcomer)
+        self._join(newcomer)
 
 
 def max_sustainable_churn(

@@ -1,0 +1,664 @@
+"""Tests for the fault-injection and invariant-checking subsystem (repro.faults)."""
+
+import random
+
+import pytest
+
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters
+from repro.core.node import BroadcastMessage
+from repro.crypto.digest import digest_object
+from repro.faults import (
+    FaultPlan,
+    InvariantMonitor,
+    LinkFault,
+    NodeFault,
+    Partition,
+    apply_plan,
+    check_agreement_logs,
+    install_link_faults,
+)
+from repro.faults.scenarios import SCENARIOS, SMALL_MATRIX, run_scenario, scenario_shard
+from repro.group.messages import GroupMessageEnvelope, GroupMessenger, NodeBinding
+from repro.group.vgroup import VGroupView
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim.actor import Actor
+from repro.sim.runpar import run_and_merge
+from repro.sim.simulator import Simulator
+from repro.smr.harness import ReplicaGroupHarness
+from repro.workloads.byzantine import select_byzantine_per_group
+
+
+def small_params(**overrides):
+    defaults = dict(hc=3, rwl=5, gmax=6, gmin=3, round_duration=0.5)
+    defaults.update(overrides)
+    return AtumParameters(**defaults)
+
+
+def build_cluster(seed=9, nodes=16, monitor=None, **cluster_kwargs):
+    cluster = AtumCluster(small_params(), seed=seed, **cluster_kwargs)
+    if monitor is not None:
+        cluster.attach_monitor(monitor)
+    cluster.build_static([f"n{i}" for i in range(nodes)])
+    return cluster
+
+
+# ----------------------------------------------------------------- plan schema
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert FaultPlan().faulted_addresses() == frozenset()
+
+    def test_compose_concatenates(self):
+        first = FaultPlan(partitions=(Partition(members=("a",), start=1.0),))
+        second = FaultPlan(nodes=(NodeFault(address="b", behaviour="silent"),))
+        combined = first + second
+        assert len(combined.partitions) == 1 and len(combined.nodes) == 1
+        assert combined.faulted_addresses() == {"a", "b"}
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(loss=1.5)
+        with pytest.raises(ValueError):
+            LinkFault(duplicate=-0.1)
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(start=5.0, stop=5.0)
+        with pytest.raises(ValueError):
+            Partition(members=("a",), start=2.0, heal_at=1.0)
+        with pytest.raises(ValueError):
+            NodeFault(address="a", behaviour="crash", start=3.0, stop=3.0)
+
+    def test_unknown_behaviour_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFault(address="a", behaviour="gremlin")
+
+    def test_link_fault_matching(self):
+        rule = LinkFault(src="a", start=1.0, stop=2.0)
+        assert rule.matches("a", "b", 1.5)
+        assert not rule.matches("c", "b", 1.5)
+        assert not rule.matches("a", "b", 2.0)
+        assert not rule.matches("a", "b", 0.5)
+
+
+# ----------------------------------------------------------- network injector
+
+
+class _Sink(Actor):
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.received = []
+
+    def on_message(self, payload, sender):
+        self.received.append((self.sim.now, payload, sender))
+
+
+def _wired_pair(seed=3):
+    sim = Simulator(seed=seed)
+    network = Network(sim, latency_model=FixedLatency(0.01))
+    sender, receiver = _Sink(sim, "a"), _Sink(sim, "b")
+    network.register(sender)
+    network.register(receiver)
+    return sim, network, receiver
+
+
+class TestLinkFaultInjector:
+    def test_total_loss_drops_everything(self):
+        sim, network, receiver = _wired_pair()
+        install_link_faults(network, sim, [LinkFault(loss=1.0)])
+        for _ in range(5):
+            network.send("a", "b", "x", 100)
+        sim.run_until_idle()
+        assert receiver.received == []
+        assert sim.metrics.counter("faults.messages_dropped") == 5
+        assert sim.metrics.counter("net.messages_lost") == 5
+
+    def test_loss_window_expires(self):
+        sim, network, receiver = _wired_pair()
+        install_link_faults(network, sim, [LinkFault(loss=1.0, start=0.0, stop=5.0)])
+        network.send("a", "b", "early", 100)
+        sim.schedule(6.0, lambda: network.send("a", "b", "late", 100))
+        sim.run_until_idle()
+        assert [payload for _, payload, _ in receiver.received] == ["late"]
+
+    def test_duplication_delivers_twice(self):
+        sim, network, receiver = _wired_pair()
+        install_link_faults(network, sim, [LinkFault(duplicate=1.0)])
+        network.send("a", "b", "x", 100)
+        sim.run_until_idle()
+        assert [payload for _, payload, _ in receiver.received] == ["x", "x"]
+        assert sim.metrics.counter("faults.messages_duplicated") == 1
+        # Both copies serialize through the downlink, so they land at
+        # different times.
+        assert receiver.received[0][0] < receiver.received[1][0]
+
+    def test_extra_delay_shifts_delivery(self):
+        baseline_sim, baseline_net, baseline_rx = _wired_pair()
+        baseline_net.send("a", "b", "x", 100)
+        baseline_sim.run_until_idle()
+        sim, network, receiver = _wired_pair()
+        install_link_faults(network, sim, [LinkFault(extra_delay=0.5)])
+        network.send("a", "b", "x", 100)
+        sim.run_until_idle()
+        assert receiver.received[0][0] == pytest.approx(baseline_rx.received[0][0] + 0.5)
+
+    def test_only_matching_links_perturbed(self):
+        sim = Simulator(seed=4)
+        network = Network(sim, latency_model=FixedLatency(0.01))
+        sinks = {name: _Sink(sim, name) for name in ("a", "b", "c")}
+        for sink in sinks.values():
+            network.register(sink)
+        install_link_faults(network, sim, [LinkFault(dst="b", loss=1.0)])
+        network.send("a", "b", "x", 100)
+        network.send("a", "c", "x", 100)
+        sim.run_until_idle()
+        assert sinks["b"].received == []
+        assert len(sinks["c"].received) == 1
+
+    def test_burst_and_fanout_paths_respect_injector(self):
+        sim = Simulator(seed=5)
+        network = Network(sim, latency_model=FixedLatency(0.01))
+        sinks = {name: _Sink(sim, name) for name in ("a", "b", "c")}
+        for sink in sinks.values():
+            network.register(sink)
+        install_link_faults(network, sim, [LinkFault(loss=1.0)])
+        network.send_burst("a", [("b", "x", 64), ("c", "x", 64)])
+        network.send_fanout("a", ["b", "c"], "y", 64)
+        network.send_one("a", "b", "z", 64)
+        sim.run_until_idle()
+        assert sinks["b"].received == [] and sinks["c"].received == []
+        assert sim.metrics.counter("faults.messages_dropped") == 5
+
+
+# ------------------------------------------------------ deterministic replay
+
+
+class TestDeterminism:
+    def test_empty_plan_and_monitor_leave_trace_byte_identical(self):
+        def run(with_faults):
+            cluster = AtumCluster(small_params(), seed=11)
+            if with_faults:
+                monitor = InvariantMonitor()
+                cluster.attach_monitor(monitor)
+            cluster.build_static([f"n{i}" for i in range(16)])
+            if with_faults:
+                apply_plan(cluster, FaultPlan(), monitor=cluster.monitor)
+            cluster.sim.schedule(0.1, lambda: cluster.broadcast("n0", "hello"))
+            trace = []
+            cluster.sim.run(until=20.0, trace=trace)
+            return trace, dict(cluster.sim.metrics.counters)
+
+        plain_trace, plain_counters = run(False)
+        faulty_trace, faulty_counters = run(True)
+        assert faulty_trace == plain_trace
+        assert faulty_counters == plain_counters
+
+    def test_faulty_runs_are_seed_deterministic(self):
+        first = run_scenario(13, "broadcast/lossy_links")
+        second = run_scenario(13, "broadcast/lossy_links")
+        assert first == second
+
+    def test_different_seeds_draw_different_faults(self):
+        first = run_scenario(13, "broadcast/lossy_links")
+        second = run_scenario(14, "broadcast/lossy_links")
+        assert (
+            first["counters"]["faults.messages_dropped"]
+            != second["counters"]["faults.messages_dropped"]
+        )
+
+
+# ----------------------------------------------------------- node behaviours
+
+
+class TestNodeBehaviours:
+    def test_crash_recover_window(self):
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=21, nodes=16, monitor=monitor)
+        plan = FaultPlan(nodes=(NodeFault(address="n1", behaviour="crash", start=1.0, stop=10.0),))
+        apply_plan(cluster, plan, monitor=monitor)
+        during = {}
+        after = {}
+        cluster.sim.schedule(2.0, lambda: during.setdefault("id", cluster.broadcast("n0", "during")))
+        cluster.sim.schedule(12.0, lambda: after.setdefault("id", cluster.broadcast("n0", "after")))
+        cluster.run(until=40.0)
+        node = cluster.nodes["n1"]
+        assert node.is_correct  # recovered
+        assert not node.has_delivered(during["id"])  # was down
+        assert node.has_delivered(after["id"])  # participates again
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_partition_heal_reaches_correct_fraction_bound(self):
+        # A partition that respects the per-vgroup minority keeps every group
+        # message acceptable: broadcasts sent during the partition reach every
+        # connected correct node (>= 1 - fault_fraction of the system), and
+        # broadcasts sent after the heal reach the paper's full bound (every
+        # correct node).
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=17, nodes=24, monitor=monitor)
+        rng = random.Random(1)
+        partitioned = select_byzantine_per_group(cluster.engine.groups.values(), 0.25, rng)
+        assert partitioned
+        plan = FaultPlan(
+            partitions=(Partition(members=tuple(partitioned), start=0.0, heal_at=10.0),)
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        ids = {}
+        cluster.sim.schedule(1.0, lambda: ids.setdefault("during", cluster.broadcast("n0", "d")))
+        cluster.sim.schedule(12.0, lambda: ids.setdefault("post", cluster.broadcast("n0", "p")))
+        cluster.run(until=50.0)
+        correct_fraction = (24 - len(partitioned)) / 24
+        assert cluster.delivery_fraction(ids["during"]) >= correct_fraction
+        assert cluster.delivery_fraction(ids["post"]) == 1.0
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_overlapping_partition_heal_keeps_other_partition_active(self):
+        # Healing one partition must not release an address that another
+        # still-active partition of the composed plan also covers.
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=25, nodes=16, monitor=monitor)
+        plan = FaultPlan(
+            partitions=(
+                Partition(members=("n1",), start=0.0, heal_at=5.0),
+                Partition(members=("n1", "n2"), start=0.0, heal_at=20.0),
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=6.0)
+        assert cluster.network.is_partitioned("n1")  # second partition holds
+        assert cluster.network.is_partitioned("n2")
+        cluster.run(until=21.0)
+        assert not cluster.network.is_partitioned("n1")
+        assert not cluster.network.is_partitioned("n2")
+
+    def test_crash_window_restores_composed_behaviour(self):
+        # A crash-recover window layered over a permanent behaviour fault
+        # must hand the node back to that behaviour, not to correctness.
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=27, nodes=16, monitor=monitor)
+        plan = FaultPlan(
+            nodes=(
+                NodeFault(address="n1", behaviour="silent"),
+                NodeFault(address="n1", behaviour="crash", start=5.0, stop=10.0),
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=4.0)
+        assert cluster.nodes["n1"].byzantine == "silent"
+        cluster.run(until=8.0)
+        assert cluster.nodes["n1"].byzantine == "mute"
+        cluster.run(until=20.0)
+        assert cluster.nodes["n1"].byzantine == "silent"
+
+    def test_two_attacker_minority_in_one_group_cannot_evict(self):
+        # The sharpest version of the §6.1.3 attack: a single 5-member vgroup
+        # with the largest strict minority (2 attackers).  The eviction
+        # threshold is a strict majority of the 4 co-members (3), so the two
+        # attackers' persistent accusations must never evict anyone.
+        monitor = InvariantMonitor()
+        cluster = AtumCluster(
+            small_params(heartbeat_period=2.0), seed=29, enable_heartbeats=True
+        )
+        cluster.attach_monitor(monitor)
+        cluster.build_static([f"n{i}" for i in range(5)])
+        assert cluster.engine.group_count == 1
+        attackers = select_byzantine_per_group(
+            cluster.engine.groups.values(), 0.4, random.Random(3)
+        )
+        assert len(attackers) == 2
+        plan = FaultPlan(
+            nodes=tuple(
+                NodeFault(address=a, behaviour="evict_attack", attack_period=3.0)
+                for a in attackers
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=60.0)
+        assert cluster.sim.metrics.counter("faults.evictions_proposed_by_byzantine") > 0
+        assert cluster.sim.metrics.counter("membership.evictions_started") == 0
+        assert cluster.engine.system_size == 5
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_recovered_nodes_do_not_mass_suspect_correct_peers(self):
+        # Recovering monitors restart with a clean slate: comparing "now"
+        # against pre-crash last_seen timestamps would make two recovered
+        # nodes instantly co-accuse the one correct peer and wrongfully
+        # evict it.  Short crash window so the crashed pair recovers before
+        # the (impossible, 1-of-2-reporter) eviction could ever fire.
+        monitor = InvariantMonitor()
+        cluster = AtumCluster(
+            small_params(heartbeat_period=2.0), seed=37, enable_heartbeats=True
+        )
+        cluster.attach_monitor(monitor)
+        cluster.build_static(["n0", "n1", "n2"])
+        assert cluster.engine.group_count == 1
+        plan = FaultPlan(
+            nodes=(
+                NodeFault(address="n0", behaviour="crash", start=5.0, stop=40.0),
+                NodeFault(address="n1", behaviour="crash", start=5.0, stop=40.0),
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=80.0)
+        assert "n2" in cluster.engine.node_group
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_partially_overlapping_windows_restore_the_active_fault(self):
+        # silent on [0,30) overlaps equivocate on [10,50): when silent ends,
+        # the still-active equivocate fault must take over, and when that
+        # ends too the node recovers.
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=39, nodes=16, monitor=monitor)
+        plan = FaultPlan(
+            nodes=(
+                NodeFault(address="n1", behaviour="silent", start=0.0, stop=30.0),
+                NodeFault(address="n1", behaviour="equivocate", start=10.0, stop=50.0),
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=5.0)
+        assert cluster.nodes["n1"].byzantine == "silent"
+        cluster.run(until=20.0)
+        assert cluster.nodes["n1"].byzantine == "equivocate"
+        cluster.run(until=35.0)
+        assert cluster.nodes["n1"].byzantine == "equivocate"
+        cluster.run(until=55.0)
+        assert cluster.nodes["n1"].byzantine is None
+
+    def test_mute_node_stops_heartbeating_and_is_evicted(self):
+        # "mute" means completely unresponsive, heartbeats included: the
+        # node's monitor must stop so its vgroup peers eventually evict it.
+        monitor = InvariantMonitor()
+        cluster = AtumCluster(
+            small_params(heartbeat_period=2.0), seed=33, enable_heartbeats=True
+        )
+        cluster.attach_monitor(monitor)
+        cluster.build_static([f"n{i}" for i in range(16)])
+        plan = FaultPlan(nodes=(NodeFault(address="n1", behaviour="mute", start=1.0),))
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=60.0)
+        assert not cluster.nodes["n1"].heartbeats.running
+        assert "n1" not in cluster.engine.node_group
+        assert cluster.sim.metrics.counter("membership.evictions_started") == 1
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_crashed_node_stays_mute_across_view_changes(self):
+        # Reconfigurations of the victim's vgroup (here: a join) must not
+        # resurrect its stopped heartbeat monitor and hide the crash.
+        monitor = InvariantMonitor()
+        cluster = AtumCluster(
+            small_params(heartbeat_period=2.0), seed=35, enable_heartbeats=True
+        )
+        cluster.attach_monitor(monitor)
+        cluster.build_static([f"n{i}" for i in range(16)])
+        plan = FaultPlan(nodes=(NodeFault(address="n0", behaviour="crash", start=1.0),))
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.sim.schedule(2.0, lambda: cluster.join("newcomer"))
+        cluster.run(until=60.0)
+        assert not cluster.nodes["n0"].heartbeats.running
+        assert "n0" not in cluster.engine.node_group
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_evict_attack_never_evicts_correct_nodes(self):
+        monitor = InvariantMonitor()
+        cluster = AtumCluster(
+            small_params(heartbeat_period=2.0), seed=23, enable_heartbeats=True
+        )
+        cluster.attach_monitor(monitor)
+        cluster.build_static([f"n{i}" for i in range(20)])
+        rng = random.Random(2)
+        attackers = select_byzantine_per_group(cluster.engine.groups.values(), 0.25, rng)
+        assert attackers
+        plan = FaultPlan(
+            nodes=tuple(
+                NodeFault(address=a, behaviour="evict_attack", attack_period=4.0)
+                for a in attackers
+            )
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=40.0)
+        assert cluster.sim.metrics.counter("faults.evictions_proposed_by_byzantine") > 0
+        # No eviction went through: a Byzantine minority cannot assemble the
+        # majority suspicion an eviction requires.
+        assert cluster.sim.metrics.counter("membership.evictions_started") == 0
+        assert cluster.engine.system_size == 20
+        monitor.finalize()
+        monitor.assert_clean()
+
+
+# -------------------------------------------------------------- equivocation
+
+
+class _GmNode(Actor):
+    def __init__(self, sim, network, address, own_view):
+        super().__init__(sim, address)
+        self.accepted = []
+        self.messenger = GroupMessenger(
+            binding=NodeBinding(address=address, network=network, sim=sim),
+            own_view_fn=lambda: own_view,
+            on_accept=lambda kind, payload, src, gm_id: self.accepted.append(
+                (kind, payload, src, gm_id)
+            ),
+        )
+
+    def on_message(self, payload, sender):
+        self.messenger.handle(payload, sender)
+
+
+class TestEquivocation:
+    def _group_pair(self, seed=31):
+        sim = Simulator(seed=seed)
+        network = Network(sim, latency_model=FixedLatency(0.005))
+        view_a = VGroupView.create("A", ["a0", "a1", "a2"])
+        view_b = VGroupView.create("B", ["b0", "b1", "b2"])
+        nodes = {}
+        for address in list(view_a.members) + list(view_b.members):
+            own = view_a if address.startswith("a") else view_b
+            node = _GmNode(sim, network, address, own)
+            network.register(node)
+            nodes[address] = node
+        return sim, view_b, nodes
+
+    def test_minority_equivocator_never_wins(self):
+        sim, view_b, nodes = self._group_pair()
+        nodes["a0"].messenger.send(view_b, "k", "honest", gm_id="gm1")
+        nodes["a1"].messenger.send(view_b, "k", "honest", gm_id="gm1")
+        nodes["a2"].messenger.send_equivocating(
+            view_b, "k", "honest", "forged", gm_id="gm1"
+        )
+        sim.run_until_idle()
+        for address in ("b0", "b1", "b2"):
+            accepted = nodes[address].accepted
+            assert len(accepted) == 1, f"{address} accepted {accepted}"
+            assert accepted[0][1] == "honest"
+            # Conflicting buckets are retired with the delivery.
+            assert nodes[address].messenger.pending_count() == 0
+        assert sim.metrics.counter("group.equivocations_sent") == 1
+
+    def test_equivocating_broadcaster_scenario_stays_clean(self):
+        row = run_scenario(19, "broadcast/equivocators")
+        assert row["violations"] == 0
+        assert row["counters"]["group.equivocations_sent"] > 0
+        # Every broadcast from a correct origin still reaches every correct node.
+        assert row["mean_delivery_fraction"] == 1.0
+
+
+# -------------------------------------------------------- invariant monitor
+
+
+class TestInvariantMonitorDetections:
+    """The monitor must actually fire when an invariant is broken."""
+
+    def _monitored_cluster(self):
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=41, nodes=12, monitor=monitor)
+        return monitor, cluster
+
+    def _kinds(self, monitor):
+        return {violation.kind for violation in monitor.violations}
+
+    def test_forged_group_message_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        group_ids = sorted(cluster.engine.groups)
+        source, target = group_ids[0], group_ids[1]
+        victim = cluster.engine.groups[target].members[0]
+        payload = "not-a-real-decision"
+        envelope = GroupMessageEnvelope(
+            gm_id="forged-1",
+            source_group=source,
+            source_epoch=0,
+            target_group=target,
+            kind="custom",
+            payload=payload,
+            digest=digest_object(payload),
+            sender_group_size=1,  # the forger lies about the group size
+        )
+        cluster.nodes[victim].messenger.handle(envelope, "intruder-1")
+        kinds = self._kinds(monitor)
+        assert "forged_sender" in kinds
+        assert "forged_majority" in kinds
+
+    def test_wrongful_eviction_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        monitor.on_eviction("n3")
+        assert self._kinds(monitor) == {"correct_evicted"}
+
+    def test_exempt_addresses_not_flagged(self):
+        monitor, cluster = self._monitored_cluster()
+        monitor.exempt(["n3"])
+        monitor.on_eviction("n3")
+        assert monitor.violations == []
+
+    def test_evicted_identity_readmission_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        monitor.exempt(["n3"])
+        monitor.on_eviction("n3")
+        group_id = sorted(cluster.engine.groups)[0]
+        view = cluster.engine.groups[group_id]
+        readmitted = view.with_members(list(view.members) + ["n3"])
+        # While the eviction's leave is still in flight, n3 may legitimately
+        # appear in views — no violation yet.
+        monitor.on_view_changed(readmitted)
+        assert monitor.violations == []
+        # Once the eviction completed, the identity is banned.
+        monitor.on_node_left("n3")
+        monitor.on_view_changed(readmitted.with_members(readmitted.members))
+        assert "evicted_readmitted" in self._kinds(monitor)
+
+    def test_broadcast_payload_mismatch_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        honest = BroadcastMessage(
+            bcast_id="bc-x-1", origin="x", payload="p1", size_bytes=10, created_at=0.0
+        )
+        forged = BroadcastMessage(
+            bcast_id="bc-x-1", origin="x", payload="p2", size_bytes=10, created_at=0.0
+        )
+        cluster.nodes["n1"].delivery_observer(honest)
+        cluster.nodes["n2"].delivery_observer(forged)
+        assert "broadcast_mismatch" in self._kinds(monitor)
+
+    def test_delivery_observer_survives_deliver_fn_reassignment(self):
+        # ASub-style apps assign node.deliver_fn after creation; the monitor
+        # hook must keep observing regardless.
+        monitor, cluster = self._monitored_cluster()
+        cluster.nodes["n1"].deliver_fn = lambda message: None
+        honest = BroadcastMessage(
+            bcast_id="bc-y-1", origin="y", payload="p1", size_bytes=10, created_at=0.0
+        )
+        forged = BroadcastMessage(
+            bcast_id="bc-y-1", origin="y", payload="p2", size_bytes=10, created_at=0.0
+        )
+        cluster.nodes["n1"]._deliver_and_forward(honest, source_group="")
+        cluster.nodes["n2"]._deliver_and_forward(forged, source_group="")
+        assert "broadcast_mismatch" in self._kinds(monitor)
+
+    def test_epoch_regression_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        group_id = sorted(cluster.engine.groups)[0]
+        view = cluster.engine.groups[group_id]
+        newer = view.with_members(view.members)  # epoch + 1
+        monitor.on_view_changed(newer)
+        monitor.on_view_changed(view)  # stale epoch re-installed
+        assert "epoch_regression" in self._kinds(monitor)
+
+    def test_oversized_view_detected(self):
+        monitor, cluster = self._monitored_cluster()
+        gmax, gmin = cluster.engine.config.gmax, cluster.engine.config.gmin
+        bogus = VGroupView.create("vg-bogus", [f"m{i}" for i in range(gmax + gmin + 1)])
+        monitor.on_view_changed(bogus)
+        assert "group_size" in self._kinds(monitor)
+
+    def test_assert_clean_raises_with_report(self):
+        monitor, cluster = self._monitored_cluster()
+        monitor.on_eviction("n3")
+        with pytest.raises(AssertionError, match="correct_evicted"):
+            monitor.assert_clean()
+
+
+class TestAgreementChecks:
+    def test_prefix_consistent_logs_pass(self):
+        assert check_agreement_logs([["a", "b"], ["a", "b", "c"], []]) == []
+
+    def test_divergence_detected(self):
+        mismatches = check_agreement_logs([["a", "b"], ["a", "x"]])
+        assert len(mismatches) == 1
+        assert "diverge" in mismatches[0]
+
+    def test_harness_agreement_hook(self):
+        harness = ReplicaGroupHarness(group_size=4, seed=2)
+        harness.propose("replica-0", "noop", {"v": 1})
+        harness.run(until=30.0)
+        assert harness.agreement_violations() == []
+
+
+# ------------------------------------------------------------ scenario matrix
+
+
+class TestScenarioMatrix:
+    def test_matrix_covers_at_least_eight_combinations(self):
+        assert len(SMALL_MATRIX) >= 8
+        combos = {(SCENARIOS[name].workload, SCENARIOS[name].plan) for name in SMALL_MATRIX}
+        assert len(combos) >= 8
+        assert {SCENARIOS[name].workload for name in SMALL_MATRIX} == {
+            "broadcast",
+            "churn",
+            "growth",
+        }
+
+    @pytest.mark.parametrize(
+        "name",
+        ["broadcast/partition_heal", "broadcast/silent_minority", "churn/crash_recover", "growth/none"],
+    )
+    def test_representative_scenarios_run_clean(self, name):
+        row = run_scenario(3, name)
+        assert row["violations"] == 0
+        assert row["checks_run"] > 0
+        assert row["delivery_bound_met"]
+
+    def test_scenario_shard_parallel_matches_serial(self):
+        seeds = [3, 5]
+        kwargs = {"name": "broadcast/none"}
+        serial = run_and_merge(
+            "repro.faults.scenarios:scenario_shard", seeds, workers=1, kwargs=kwargs
+        )
+        parallel = run_and_merge(
+            "repro.faults.scenarios:scenario_shard", seeds, workers=2, kwargs=kwargs
+        )
+        assert serial["counters"] == parallel["counters"]
+        for name, histogram in serial["histograms"].items():
+            assert parallel["histograms"][name].samples == histogram.samples
+
+    def test_shard_snapshot_shape(self):
+        snapshot = scenario_shard(3, "broadcast/none")
+        assert snapshot["counters"]["scenario.runs"] == 1.0
+        assert snapshot["counters"]["scenario.violations"] == 0.0
+        assert snapshot["histograms"]["scenario.delivery_fraction"] == [1.0]

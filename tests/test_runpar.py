@@ -119,3 +119,36 @@ class TestWorkerKnob:
     def test_floor_of_one(self, monkeypatch):
         monkeypatch.setenv(WORKERS_ENV, "0")
         assert default_workers() == 1
+
+
+class TestChurnErrorAccounting:
+    """The perf churn workload must count — not blanket-swallow — failures."""
+
+    def test_clean_run_swallows_nothing(self):
+        from repro.sim.protocol_perf import run_churn_scenario
+
+        outcome = run_churn_scenario(seed=1, **SMALL_CHURN)
+        assert outcome["swallowed_errors"] == 0
+        assert outcome["completed_operations"] > 0
+
+    def test_membership_errors_are_counted_visibly(self, monkeypatch):
+        from repro.overlay.membership import MembershipEngine, MembershipError
+        from repro.sim.protocol_perf import run_churn_scenario
+
+        def failing_leave(self, node, eviction=False):
+            raise MembershipError("injected failure")
+
+        monkeypatch.setattr(MembershipEngine, "leave", failing_leave)
+        outcome = run_churn_scenario(seed=1, **SMALL_CHURN)
+        assert outcome["swallowed_errors"] > 0
+
+    def test_unexpected_errors_propagate(self, monkeypatch):
+        from repro.overlay.membership import MembershipEngine
+        from repro.sim.protocol_perf import run_churn_scenario
+
+        def broken_leave(self, node, eviction=False):
+            raise RuntimeError("engine bug")
+
+        monkeypatch.setattr(MembershipEngine, "leave", broken_leave)
+        with pytest.raises(RuntimeError):
+            run_churn_scenario(seed=1, **SMALL_CHURN)

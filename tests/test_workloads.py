@@ -7,7 +7,8 @@ import pytest
 from repro.core.cluster import AtumCluster
 from repro.core.config import AtumParameters
 from repro.group.cost import GroupCostModel
-from repro.overlay.membership import MembershipConfig, MembershipEngine
+from repro.group.vgroup import VGroupView
+from repro.overlay.membership import MembershipConfig, MembershipEngine, MembershipError
 from repro.sim import Simulator
 from repro.workloads import (
     BroadcastWorkload,
@@ -18,6 +19,7 @@ from repro.workloads import (
     GrowthWorkload,
     max_sustainable_churn,
     select_byzantine,
+    select_byzantine_per_group,
 )
 
 
@@ -143,6 +145,57 @@ class TestBroadcastWorkload:
             workload.run()
 
 
+class TestChurnAccountingFix:
+    """Failed leaves must not count as requested re-joins (issue 3 satellite)."""
+
+    def test_failed_leave_not_requested_and_counted(self):
+        engine = make_engine(seed=9, size=20)
+        workload = ChurnWorkload(engine, ChurnConfig())
+
+        def failing_leave(node, eviction=False):
+            raise MembershipError("victim vanished")
+
+        engine.leave = failing_leave
+        workload._rejoin_one()
+        assert workload._requested == 0
+        assert engine.sim.metrics.counter("churn.leave_failed") == 1
+        # The re-join never started: no churn-* newcomer was joined.
+        assert not any(node.startswith("churn-") for node in engine.node_group)
+
+    def test_unexpected_errors_propagate(self):
+        engine = make_engine(seed=9, size=20)
+        workload = ChurnWorkload(engine, ChurnConfig())
+
+        def broken_leave(node, eviction=False):
+            raise RuntimeError("engine bug")
+
+        engine.leave = broken_leave
+        with pytest.raises(RuntimeError):
+            workload._rejoin_one()
+
+    def test_result_reports_leave_failures(self):
+        engine = make_engine(seed=10, size=20)
+
+        def failing_leave(node, eviction=False):
+            raise MembershipError("always fails")
+
+        engine.leave = failing_leave
+        workload = ChurnWorkload(engine, ChurnConfig(rate_per_minute=30, duration=20.0, warmup=1.0))
+        result = workload.run()
+        assert result.leave_failures > 0
+        assert result.requested_rejoins == 0
+        # No requested re-joins means the completion ratio is trivially 1.0
+        # instead of a skewed figure derived from failed leaves.
+        assert result.completion_ratio == 1.0
+
+    def test_successful_churn_has_no_leave_failures(self):
+        engine = make_engine(seed=3, size=60)
+        workload = ChurnWorkload(engine, ChurnConfig(rate_per_minute=5, duration=120.0))
+        result = workload.run()
+        assert result.leave_failures == 0
+        assert result.requested_rejoins > 0
+
+
 class TestByzantineSelection:
     def test_select_by_count(self):
         addresses = [f"n{i}" for i in range(100)]
@@ -170,3 +223,49 @@ class TestByzantineSelection:
         first = select_byzantine(addresses, count=5, rng=random.Random(1))
         second = select_byzantine(addresses, count=5, rng=random.Random(1))
         assert first == second
+
+    def test_fraction_rounds_down(self):
+        # round() would pick 2 of 5 for a one-third fraction (1.666 -> 2);
+        # the adversary controls *at most* the stated fraction, so floor it.
+        addresses = [f"n{i}" for i in range(5)]
+        assert len(select_byzantine(addresses, fraction=1 / 3)) == 1
+
+    def test_half_fraction_on_small_cluster_rejected(self):
+        # floor(0.5 * 4) = 2 of 4 is not a strict minority.
+        addresses = [f"n{i}" for i in range(4)]
+        with pytest.raises(ValueError, match="minority"):
+            select_byzantine(addresses, fraction=0.5)
+        assert len(select_byzantine(addresses, fraction=0.5, allow_majority=True)) == 2
+
+    def test_majority_count_rejected_unless_allowed(self):
+        addresses = [f"n{i}" for i in range(5)]
+        with pytest.raises(ValueError, match="minority"):
+            select_byzantine(addresses, count=3)
+        assert len(select_byzantine(addresses, count=3, allow_majority=True)) == 3
+        # A strict minority passes.
+        assert len(select_byzantine(addresses, count=2)) == 2
+
+    def test_zero_selection_always_allowed(self):
+        assert select_byzantine(["a"], count=0) == []
+        assert select_byzantine([], fraction=0.9) == []
+
+
+class TestByzantinePerGroupSelection:
+    def test_strict_minority_of_every_group(self):
+        views = [
+            VGroupView.create("g1", [f"a{i}" for i in range(4)]),
+            VGroupView.create("g2", [f"b{i}" for i in range(5)]),
+            VGroupView.create("g3", [f"c{i}" for i in range(6)]),
+        ]
+        chosen = select_byzantine_per_group(views, 0.5, rng=random.Random(1))
+        for view in views:
+            inside = [address for address in chosen if address in view.member_set]
+            assert len(inside) <= (len(view.members) - 1) // 2
+
+    def test_small_fraction_selects_nothing_in_tiny_groups(self):
+        views = [VGroupView.create("g1", ["a0", "a1", "a2"])]
+        assert select_byzantine_per_group(views, 0.25, rng=random.Random(1)) == []
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            select_byzantine_per_group([], 1.5)
