@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set,
 from repro.core.config import AtumParameters, SmrKind
 from repro.core.node import AtumNode, BroadcastMessage
 from repro.crypto.keys import KeyRegistry
+from repro.group.antientropy import AntiEntropyConfig
 from repro.group.vgroup import VGroupView
 from repro.net.latency import LanProfile, LatencyModel, WanProfile
 from repro.net.network import Network, NetworkConfig
@@ -40,6 +41,7 @@ class AtumCluster:
         network_config: Optional[NetworkConfig] = None,
         enable_heartbeats: bool = False,
         shuffle_enabled: bool = True,
+        antientropy: Optional["AntiEntropyConfig"] = None,
     ) -> None:
         self.params = params or AtumParameters()
         self.sim = Simulator(seed=seed)
@@ -51,6 +53,10 @@ class AtumCluster:
         self.network = Network(self.sim, latency_model=latency_model, config=network_config)
         self.registry = KeyRegistry()
         self.enable_heartbeats = enable_heartbeats
+        # Optional anti-entropy repair layer (repro.group.antientropy): a
+        # config here equips every node with the digest-exchange repair
+        # actor; None keeps runs byte-identical to pre-anti-entropy builds.
+        self.antientropy_config = antientropy
         typical_latency = 0.001 if self.params.smr_kind is SmrKind.SYNC else 0.05
         self.engine = MembershipEngine(
             sim=self.sim,
@@ -74,6 +80,12 @@ class AtumCluster:
         # Reports age out (see request_eviction), so a Byzantine minority
         # cannot accumulate stale accusations until they look like a majority.
         self._suspicions: Dict[str, Dict[str, float]] = {}
+        # Smallest size each vgroup was ever seen at, for the messengers'
+        # forged-size cross-check (see GroupMessenger.handle): an honest
+        # share's claimed sender-group size is the size at send time, which
+        # is never below this minimum, so the check can reject size lies
+        # without ever blocking honest traffic during reconfigurations.
+        self._min_group_sizes: Dict[str, int] = {}
         # Optional runtime invariant monitor (see repro.faults.invariants).
         # Every hook below is guarded by ``is not None`` so unmonitored runs
         # pay a single attribute check per membership event.
@@ -115,6 +127,7 @@ class AtumCluster:
             forward_policy=forward_policy,
             byzantine=byzantine,
             enable_heartbeats=self.enable_heartbeats,
+            antientropy=self.antientropy_config,
         )
         self.nodes[address] = node
         self.network.register(node)
@@ -290,6 +303,21 @@ class AtumCluster:
     def view_of_group(self, group_id: str) -> Optional[VGroupView]:
         return self.engine.groups.get(group_id)
 
+    def smallest_group_size(self, group_id: str) -> Optional[int]:
+        """Smallest size ``group_id`` was ever seen at (``None`` if unknown).
+
+        Directory hook for the group messengers' forged-size rejection: a
+        group message's claimed sender-group size may never pull the
+        acceptance majority below the majority of this minimum.
+        """
+        view = self.engine.groups.get(group_id)
+        tracked = self._min_group_sizes.get(group_id)
+        if view is None:
+            return tracked
+        if tracked is None or view.size < tracked:
+            tracked = self._min_group_sizes[group_id] = view.size
+        return tracked
+
     def cycle_neighbor_ids(self, group_id: str) -> List[Tuple[str, str]]:
         """Per H-graph cycle, the (predecessor, successor) group ids."""
         graph = self.engine.graph
@@ -323,6 +351,9 @@ class AtumCluster:
     # --------------------------------------------------------- engine callbacks
 
     def _on_view_changed(self, view: VGroupView) -> None:
+        previous_min = self._min_group_sizes.get(view.group_id)
+        if previous_min is None or view.size < previous_min:
+            self._min_group_sizes[view.group_id] = view.size
         for member in view.members:
             node = self.nodes.get(member)
             if node is not None:

@@ -28,9 +28,11 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import AtumParameters, SmrKind
 from repro.crypto.keys import KeyRegistry
+from repro.group.antientropy import AntiEntropyConfig, AntiEntropyRepair
 from repro.group.heartbeat import Heartbeat, HeartbeatConfig, HeartbeatMonitor
 from repro.group.messages import GroupMessageEnvelope, GroupMessenger, NodeBinding
 from repro.group.vgroup import VGroupView
+from repro.net.message import CorruptedPayload
 from repro.net.network import Network
 from repro.sim.actor import Actor
 from repro.sim.simulator import Simulator
@@ -118,6 +120,7 @@ class AtumNode(Actor):
         forward_policy: str = "flood",
         byzantine: Optional[str] = None,
         enable_heartbeats: bool = False,
+        antientropy: Optional[AntiEntropyConfig] = None,
     ) -> None:
         super().__init__(sim, address)
         self.params = params
@@ -147,7 +150,14 @@ class AtumNode(Actor):
             binding=NodeBinding(address=address, network=network, sim=sim),
             own_view_fn=self._own_view_or_singleton,
             on_accept=self._on_group_message,
+            # Forged-size rejection: the directory's smallest-known size of
+            # the source group caps how far a claimed sender_group_size can
+            # lower the acceptance majority (see GroupMessenger.handle).
+            source_size_fn=getattr(directory, "smallest_group_size", None),
         )
+        self.antientropy: Optional[AntiEntropyRepair] = None
+        if antientropy is not None:
+            self.antientropy = AntiEntropyRepair(self, antientropy)
         self.heartbeats: Optional[HeartbeatMonitor] = None
         if enable_heartbeats:
             self.heartbeats = HeartbeatMonitor(
@@ -202,6 +212,10 @@ class AtumNode(Actor):
             # any reconfiguration of its vgroup would resurrect its
             # heartbeats and hide the crash from the failure detector.
             self.heartbeats.start()
+        if self.antientropy is not None and not self.antientropy.running:
+            # Safe for crashed nodes too: the tick itself is a no-op while
+            # the node is not correct and resumes after recovery.
+            self.antientropy.start()
 
     def clear_membership(self) -> None:
         """Drop membership state after leaving the system."""
@@ -211,6 +225,8 @@ class AtumNode(Actor):
             self.replica = None
         if self.heartbeats is not None:
             self.heartbeats.stop()
+        if self.antientropy is not None:
+            self.antientropy.stop()
 
     def _make_replica(self, view: VGroupView) -> SmrReplica:
         replica_class = SyncSmrReplica if self.params.smr_kind is SmrKind.SYNC else PbftReplica
@@ -248,6 +264,28 @@ class AtumNode(Actor):
         self.sim.metrics.increment("atum.broadcasts_started")
         return bcast_id
 
+    def repropose_broadcast(self, message: BroadcastMessage) -> bool:
+        """Re-run a delivered broadcast through the own vgroup's SMR engine.
+
+        Anti-entropy's intra-group repair path: re-deciding the operation
+        delivers it to every current member through the agreement primitive
+        itself (members that already delivered dedup on the broadcast id),
+        so a co-member that missed the original decision — it was cut off,
+        or on the wrong side of a split — catches up without any unsafe
+        point-to-point payload transfer.
+        """
+        if self.replica is None or not self.is_member:
+            return False
+        operation = Operation(
+            kind="broadcast",
+            body=message,
+            proposer=self.address,
+            op_id=message.bcast_id,
+        )
+        self.replica.repropose(operation)
+        self.sim.metrics.increment("atum.broadcast_reproposals")
+        return True
+
     def register_group_handler(self, kind: str, handler: Callable[[Any, str, str], None]) -> None:
         """Register a handler for accepted group messages of the given kind.
 
@@ -268,6 +306,19 @@ class AtumNode(Actor):
 
     def on_message(self, payload: Any, sender: str) -> None:
         if self.byzantine == "mute":
+            return
+        if isinstance(payload, CorruptedPayload):
+            inner = payload.inner
+            if isinstance(inner, GroupMessageEnvelope):
+                # Group-message shares are self-verifying: the messenger runs
+                # the payload-digest check and discards the tampered share.
+                if self.byzantine != "silent" and self.byzantine != "evict_attack":
+                    self.messenger.handle_corrupted(inner, sender)
+                return
+            # Everything else (heartbeats, SMR, direct messages) is MACed on
+            # the wire in a real deployment: a flipped frame fails transport
+            # authentication and is dropped whole.
+            self.sim.metrics.increment("net.corrupted_discarded")
             return
         if isinstance(payload, Heartbeat):
             if self.heartbeats is not None:
@@ -334,6 +385,8 @@ class AtumNode(Actor):
             return
         self.delivered[message.bcast_id] = self.sim.now
         self.delivered_order.append(message.bcast_id)
+        if self.antientropy is not None:
+            self.antientropy.on_delivered(message)
         self.sim.metrics.increment("atum.deliveries")
         self.sim.metrics.observe("atum.delivery_latency", self.sim.now - message.created_at)
         if self.delivery_observer is not None:

@@ -4,8 +4,9 @@
 FaultPlan` into scheduled simulator events against an
 :class:`~repro.core.cluster.AtumCluster`:
 
-* partitions form and heal at their configured times through the network's
-  existing partition machinery;
+* partitions form and heal at their configured times — per-node isolation
+  through the network's partition machinery, side-preserving splits through
+  its ``split``/``merge`` side-aware routing;
 * link faults install a :class:`~repro.faults.injector.LinkFaultInjector`
   on the network;
 * node faults flip node behaviours on schedule — crash (+ recovery), silent,
@@ -62,6 +63,27 @@ class FaultController:
 
         partitions = self.plan.partitions
         for partition in partitions:
+            if partition.is_side_preserving:
+                # Side-preserving splits are tracked by id on the network, so
+                # forming and healing are exact regardless of overlaps with
+                # other partitions.
+                handle: Dict[str, int] = {}
+
+                def form_split(partition=partition, handle=handle) -> None:
+                    handle["id"] = cluster.network.split(partition.sides)
+                    sim.metrics.increment("faults.partitions_formed")
+
+                self._at(partition.start, form_split, tag="faults.partition")
+                if partition.heal_at is not None:
+
+                    def heal_split(handle=handle) -> None:
+                        split_id = handle.pop("id", None)
+                        if split_id is not None:
+                            cluster.network.merge(split_id)
+                        sim.metrics.increment("faults.partitions_healed")
+
+                    self._at(partition.heal_at, heal_split, tag="faults.heal")
+                continue
             members = partition.members
 
             def form(members=members) -> None:
@@ -78,7 +100,7 @@ class FaultController:
                     now = sim.now
                     still_covered = set()
                     for other in partitions:
-                        if other is partition:
+                        if other is partition or other.is_side_preserving:
                             continue
                         if other.start <= now and (
                             other.heal_at is None or now < other.heal_at

@@ -35,17 +35,20 @@ class LinkFaultInjector:
 
     def perturb(
         self, sender: str, receiver: str, now: float
-    ) -> Optional[Tuple[bool, float, int]]:
-        """Fault verdict for one message: ``(drop, extra_delay, copies)``.
+    ) -> Optional[Tuple[bool, float, int, bool]]:
+        """Fault verdict for one message: ``(drop, extra_delay, copies, corrupted)``.
 
         Returns ``None`` when no rule matches, so the caller can stay on the
         unperturbed arithmetic.  All matching rules compose: loss draws are
-        independent per rule, delays add up, and duplication contributes one
-        extra copy per matching rule that fires.
+        independent per rule, delays add up, duplication contributes one
+        extra copy per matching rule that fires, and any firing corruption
+        draw marks the message (the network delivers it bit-flipped for the
+        receiver to detect and discard).
         """
         matched = False
         extra_delay = 0.0
         copies = 1
+        corrupted = False
         rng = self._rng
         counters = self._counters
         for rule in self.links:
@@ -54,7 +57,7 @@ class LinkFaultInjector:
             matched = True
             if rule.loss > 0.0 and rng.random() < rule.loss:
                 counters["faults.messages_dropped"] += 1.0
-                return (True, 0.0, 0)
+                return (True, 0.0, 0, False)
             if rule.extra_delay > 0.0 or rule.jitter > 0.0:
                 delay = rule.extra_delay
                 if rule.jitter > 0.0:
@@ -63,12 +66,15 @@ class LinkFaultInjector:
             if rule.duplicate > 0.0 and rng.random() < rule.duplicate:
                 counters["faults.messages_duplicated"] += 1.0
                 copies += 1
+            if rule.corrupt > 0.0 and rng.random() < rule.corrupt and not corrupted:
+                counters["faults.messages_corrupted"] += 1.0
+                corrupted = True
         if not matched:
             return None
         if extra_delay > 0.0:
             # Once per delayed message, however many rules contributed.
             counters["faults.messages_delayed"] += 1.0
-        return (False, extra_delay, copies)
+        return (False, extra_delay, copies, corrupted)
 
 
 def install_link_faults(

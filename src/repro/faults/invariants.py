@@ -275,6 +275,26 @@ class InvariantMonitor:
                 f"but another correct node delivered {previous[:12]} (equivocation won)",
             )
 
+    # ------------------------------------------------------------- SMR checks
+
+    def check_smr_prefix_consistency(self, cluster=None) -> None:
+        """Assert per-vgroup SMR decided logs are prefix-consistent.
+
+        Sound for the asynchronous (PBFT) engine under static membership:
+        PBFT executes in gap-free sequence order, so a replica that missed
+        decisions (partitioned, on the losing side of a split) *lags* but
+        never diverges, and view changes carry prepared operations so
+        decided prefixes survive a heal.  The synchronous engine decides
+        instances independently at round boundaries and offers no such
+        total-order guarantee under message loss — do not run this check
+        against Sync scenarios with drops.
+        """
+        cluster = cluster if cluster is not None else self._cluster
+        for group_id, logs in sorted(cluster_smr_logs(cluster).items()):
+            self.checks_run += 1
+            for mismatch in check_agreement_logs(logs):
+                self._violation("smr_divergence", group_id, mismatch)
+
     # ---------------------------------------------------------------- results
 
     def finalize(self) -> List[InvariantViolation]:
@@ -339,6 +359,28 @@ class InvariantMonitor:
         )
 
 
+def cluster_smr_logs(cluster) -> Dict[str, List[List[str]]]:
+    """Per-vgroup decided-operation logs of correct member nodes.
+
+    Groups each correct member node's ``replica.decided_log`` (as op-id
+    sequences) under its current vgroup, for prefix-consistency checking
+    with :func:`check_agreement_logs`.  Meaningful for static-membership
+    scenarios: a node that switched vgroups mid-run carries its old log
+    into the new group.
+    """
+    logs: Dict[str, List[List[str]]] = {}
+    for node in cluster.nodes.values():
+        if not node.is_correct or not node.is_member or node.replica is None:
+            continue
+        group_id = node.group_id()
+        if group_id is None:
+            continue
+        logs.setdefault(group_id, []).append(
+            [operation.op_id for operation in node.replica.decided_log]
+        )
+    return logs
+
+
 def check_agreement_logs(logs: Sequence[Sequence[str]]) -> List[str]:
     """Prefix-consistency of per-replica decided-operation logs.
 
@@ -367,4 +409,5 @@ __all__ = [
     "InvariantConfig",
     "InvariantViolation",
     "check_agreement_logs",
+    "cluster_smr_logs",
 ]

@@ -3,11 +3,13 @@
 A :class:`FaultPlan` describes *what goes wrong and when* in one simulated
 run, as data rather than per-experiment driver code:
 
-* :class:`Partition` — a set of addresses isolated from the rest of the
-  network between ``start`` and ``heal_at`` (``None`` = never heals);
+* :class:`Partition` — either a set of addresses isolated from the rest of
+  the network between ``start`` and ``heal_at`` (``None`` = never heals),
+  or — with ``sides`` — a *side-preserving* split whose sides stay
+  internally connected while cross-side traffic is dropped;
 * :class:`LinkFault` — a time-windowed per-link perturbation (loss,
-  duplication, added delay / jitter spikes) matching a sender/receiver
-  pattern (``None`` matches any address);
+  duplication, added delay / jitter spikes, payload corruption) matching a
+  sender/receiver pattern (``None`` matches any address);
 * :class:`NodeFault` — a node-behaviour change (crash with optional
   recovery, silent Byzantine, the paper's §6.1.3 heartbeat-only +
   evict-proposing adversary, or an equivocating broadcaster).
@@ -45,34 +47,65 @@ NODE_BEHAVIOURS = ("crash", "silent", "mute", "evict_attack", "equivocate")
 
 @dataclass(frozen=True)
 class Partition:
-    """Cut ``members`` off from the network for a time window.
+    """Cut nodes off from (parts of) the network for a time window.
 
-    Uses the network's partition machinery, whose semantics are *per-node
-    isolation*: a partitioned address can neither send nor receive — not
-    even to other members of the same partition.  This models nodes behind
-    a failed switch/uplink (each looks crashed to everyone, including each
-    other), which is also how the paper's fault injection treats
-    unreachable nodes.  A *side-preserving* partition (both sides stay
-    internally connected) is not yet expressible — see ROADMAP open items;
-    approximate one today with ``LinkFault`` rules between the two sides.
+    Two shapes are expressible:
+
+    * **Per-node isolation** (``members`` only): each listed address can
+      neither send nor receive — not even to other members of the same
+      partition.  This models nodes behind a failed switch/uplink (each
+      looks crashed to everyone, including each other), which is also how
+      the paper's fault injection treats unreachable nodes.
+    * **Side-preserving split** (``sides``): the named sides stay internally
+      connected and only *cross-side* traffic is dropped, so each side keeps
+      running its own heartbeats and SMR.  This is the paper's hard case —
+      divergence on two live sides followed by reconciliation after the
+      heal.  Addresses not named by any side are unaffected (they can talk
+      to everyone).  ``members`` is derived as the union of the sides.
 
     Attributes:
-        members: Addresses to cut off.
+        members: Addresses to cut off (derived from ``sides`` when given).
         start: Simulated time at which the partition forms.
         heal_at: Simulated time at which it heals (``None`` = permanent).
+        sides: Optional disjoint address groups forming a side-preserving
+            split (at least two, each non-empty).
     """
 
-    members: Tuple[str, ...]
+    members: Tuple[str, ...] = ()
     start: float = 0.0
     heal_at: Optional[float] = None
+    sides: Optional[Tuple[Tuple[str, ...], ...]] = None
 
     def __post_init__(self) -> None:
+        if self.sides is not None:
+            if len(self.sides) < 2:
+                raise ValueError("a side-preserving partition needs at least two sides")
+            union: set = set()
+            for side in self.sides:
+                if not side:
+                    raise ValueError("every side of a partition must be non-empty")
+                overlap = union.intersection(side)
+                if overlap:
+                    raise ValueError(
+                        f"partition sides must be disjoint; {sorted(overlap)} appear twice"
+                    )
+                union.update(side)
+            if self.members and set(self.members) != union:
+                raise ValueError(
+                    "members of a side-preserving partition must equal the union of its sides"
+                )
+            if not self.members:
+                object.__setattr__(self, "members", tuple(sorted(union)))
         if not self.members:
             raise ValueError("a partition needs at least one member")
         if self.start < 0.0:
             raise ValueError("partition start must be non-negative")
         if self.heal_at is not None and self.heal_at <= self.start:
             raise ValueError("heal_at must be after start")
+
+    @property
+    def is_side_preserving(self) -> bool:
+        return self.sides is not None
 
 
 @dataclass(frozen=True)
@@ -92,6 +125,10 @@ class LinkFault:
         duplicate: Probability a matching message is delivered twice.
         extra_delay: Deterministic extra propagation delay in seconds.
         jitter: Upper bound of an additional uniform random delay.
+        corrupt: Probability a matching message is delivered *bit-flipped*.
+            Corrupted group-message shares fail the receiver's payload-digest
+            verification and are discarded; corrupted frames of other
+            protocols fail transport authentication and are dropped whole.
     """
 
     src: Optional[str] = None
@@ -102,9 +139,10 @@ class LinkFault:
     duplicate: float = 0.0
     extra_delay: float = 0.0
     jitter: float = 0.0
+    corrupt: float = 0.0
 
     def __post_init__(self) -> None:
-        for name in ("loss", "duplicate"):
+        for name in ("loss", "duplicate", "corrupt"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be a probability in [0, 1]")
@@ -184,6 +222,22 @@ class FaultPlan:
         addresses = set()
         for partition in self.partitions:
             addresses.update(partition.members)
+        for node_fault in self.nodes:
+            addresses.add(node_fault.address)
+        return frozenset(addresses)
+
+    def unavailable_addresses(self) -> FrozenSet[str]:
+        """Addresses the plan makes *unavailable* (isolated or node-faulted).
+
+        Unlike :meth:`faulted_addresses`, members of a *side-preserving*
+        partition are excluded: each side keeps operating, so the paper's
+        delivery bound still covers broadcasts those nodes originate —
+        post-heal reconciliation is expected to deliver them everywhere.
+        """
+        addresses = set()
+        for partition in self.partitions:
+            if not partition.is_side_preserving:
+                addresses.update(partition.members)
         for node_fault in self.nodes:
             addresses.add(node_fault.address)
         return frozenset(addresses)

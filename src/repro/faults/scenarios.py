@@ -28,16 +28,18 @@ CLI::
 from __future__ import annotations
 
 import math
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.robustness import scenario_robustness_row
 from repro.core.cluster import AtumCluster
-from repro.core.config import AtumParameters
+from repro.core.config import AtumParameters, SmrKind
 from repro.faults.behaviours import apply_plan
 from repro.faults.invariants import InvariantMonitor
 from repro.faults.plan import FaultPlan, LinkFault, NodeFault, Partition
+from repro.group.antientropy import AntiEntropyConfig
 from repro.sim.rng import derive_seed
 from repro.sim.runpar import merge_shards, run_sharded
 from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
@@ -65,6 +67,10 @@ class Scenario:
         delivery_bound: The ≥ correct-fraction delivery bound this scenario
             is expected to meet (broadcast workloads only; reported, and
             asserted by the matrix tests for the partition-heal scenario).
+        smr: ``"sync"`` (Dolev-Strong) or ``"async"`` (PBFT) engine.
+        antientropy: Equip every node with the digest-exchange repair layer
+            (:mod:`repro.group.antientropy`); required by the 1.0 delivery
+            bounds of the partition scenarios.
     """
 
     name: str
@@ -81,6 +87,14 @@ class Scenario:
     churn_duration: float = 90.0
     growth_target: int = 40
     delivery_bound: float = 1.0
+    smr: str = "sync"
+    antientropy: bool = False
+
+    def __post_init__(self) -> None:
+        if self.smr not in ("sync", "async"):
+            raise ValueError(
+                f"unknown smr engine {self.smr!r}; expected 'sync' or 'async'"
+            )
 
 
 # --------------------------------------------------------------------- plans
@@ -100,10 +114,38 @@ def _plan_partition_heal(
     return FaultPlan(partitions=(Partition(members=members, start=0.6, heal_at=4.0),))
 
 
+def _plan_two_sided_split(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Side-preserving split: two internally-connected halves, healed mid-run.
+
+    The random bisection deliberately ignores vgroup boundaries, so vgroups
+    straddle the split and each side keeps running its own heartbeats and
+    SMR — the paper's real hard case of divergence-and-reconcile rather
+    than mere unavailability.
+    """
+    addresses = sorted(cluster.engine.node_group)
+    shuffled = list(addresses)
+    rng.shuffle(shuffled)
+    half = len(shuffled) // 2
+    side_a = tuple(sorted(shuffled[:half]))
+    side_b = tuple(sorted(shuffled[half:]))
+    return FaultPlan(
+        partitions=(Partition(sides=(side_a, side_b), start=0.6, heal_at=4.0),)
+    )
+
+
 def _plan_lossy_links(
     scenario: Scenario, cluster: AtumCluster, rng: random.Random
 ) -> FaultPlan:
     return FaultPlan(links=(LinkFault(loss=0.05),))
+
+
+def _plan_corrupt_links(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Bit-flip a fraction of all traffic; receivers must detect and discard."""
+    return FaultPlan(links=(LinkFault(corrupt=0.05),))
 
 
 def _plan_delay_spike(
@@ -199,7 +241,9 @@ def _plan_kitchen_sink(
 PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultPlan]] = {
     "none": _plan_none,
     "partition_heal": _plan_partition_heal,
+    "two_sided_split": _plan_two_sided_split,
     "lossy_links": _plan_lossy_links,
+    "corrupt_links": _plan_corrupt_links,
     "delay_spike": _plan_delay_spike,
     "dup_storm": _plan_dup_storm,
     "silent_minority": _plan_silent_minority,
@@ -223,8 +267,34 @@ def _default_scenarios() -> Dict[str, Scenario]:
             fault_fraction=0.2,
             # The partition is drawn over the whole system, so an unlucky
             # vgroup can lose its majority and stall broadcasts originating
-            # there until the heal; the bound reflects that worst case.
-            delivery_bound=0.5,
+            # there until the heal.  Anti-entropy repairs exactly that:
+            # after the heal, digest exchange re-requests what was missed,
+            # so every broadcast by a connected correct origin reaches every
+            # correct node — the bound is the paper's full 1.0.
+            delivery_bound=1.0,
+            antientropy=True,
+        ),
+        # Side-preserving splits: both sides stay internally live, diverge,
+        # and must reconcile to full delivery after the heal — under the
+        # synchronous engine and under PBFT (where view changes and the
+        # (g-1)/3 threshold do the intra-group catching up).
+        Scenario(
+            name="broadcast/two_sided_split",
+            workload="broadcast",
+            plan="two_sided_split",
+            fault_fraction=0.5,
+            delivery_bound=1.0,
+            antientropy=True,
+        ),
+        Scenario(
+            name="broadcast/two_sided_split_pbft",
+            workload="broadcast",
+            plan="two_sided_split",
+            fault_fraction=0.5,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            settle_time=40.0,
         ),
         Scenario(
             name="broadcast/lossy_links",
@@ -233,6 +303,22 @@ def _default_scenarios() -> Dict[str, Scenario]:
             delivery_bound=0.9,
         ),
         Scenario(name="broadcast/delay_spike", workload="broadcast", plan="delay_spike"),
+        Scenario(
+            name="broadcast/delay_spike_pbft",
+            workload="broadcast",
+            plan="delay_spike",
+            smr="async",
+            settle_time=40.0,
+        ),
+        # Corrupted shares fail payload-digest verification and are dropped
+        # before they can pollute accumulation state; the effect on delivery
+        # is at worst that of an equal loss rate.
+        Scenario(
+            name="broadcast/corrupt_links",
+            workload="broadcast",
+            plan="corrupt_links",
+            delivery_bound=0.9,
+        ),
         Scenario(name="broadcast/dup_storm", workload="broadcast", plan="dup_storm"),
         # Per-vgroup Byzantine quotas are floor(fraction * size) capped to a
         # strict minority; with the matrix's vgroups of 4-6 members a 0.25
@@ -299,6 +385,92 @@ SCENARIOS: Dict[str, Scenario] = _default_scenarios()
 SMALL_MATRIX: List[str] = list(SCENARIOS)
 
 
+def _bench_scale() -> int:
+    """Global workload scale factor (``ATUM_BENCH_SCALE``, default 1).
+
+    A malformed value raises instead of silently downgrading: the nightly
+    job's whole point is deployment-scale coverage, and a typo'd env var
+    must not shrink the run while the artifact still claims 800 nodes.
+    """
+    raw = os.environ.get("ATUM_BENCH_SCALE", "1")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(
+            f"ATUM_BENCH_SCALE must be an integer, got {raw!r}"
+        ) from None
+
+
+def _nightly_scenarios() -> Dict[str, Scenario]:
+    """The deployment-scale slice run nightly (not per-PR).
+
+    Node counts are ``400 * ATUM_BENCH_SCALE``, matching the paper's
+    800-node deployments at the nightly workflow's ``ATUM_BENCH_SCALE=2``.
+    """
+    nodes = 400 * _bench_scale()
+    entries = [
+        Scenario(
+            name="nightly/partition_heal",
+            workload="broadcast",
+            plan="partition_heal",
+            nodes=nodes,
+            fault_fraction=0.2,
+            broadcasts=8,
+            settle_time=60.0,
+            delivery_bound=1.0,
+            antientropy=True,
+        ),
+        Scenario(
+            name="nightly/two_sided_split",
+            workload="broadcast",
+            plan="two_sided_split",
+            nodes=nodes,
+            fault_fraction=0.5,
+            broadcasts=8,
+            settle_time=60.0,
+            delivery_bound=1.0,
+            antientropy=True,
+        ),
+        Scenario(
+            name="nightly/two_sided_split_pbft",
+            workload="broadcast",
+            plan="two_sided_split",
+            nodes=nodes,
+            fault_fraction=0.5,
+            broadcasts=8,
+            settle_time=80.0,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+        ),
+        Scenario(
+            name="nightly/silent_minority",
+            workload="broadcast",
+            plan="silent_minority",
+            nodes=nodes,
+            fault_fraction=0.25,
+            broadcasts=8,
+            settle_time=60.0,
+        ),
+    ]
+    return {scenario.name: scenario for scenario in entries}
+
+
+#: The deployment-scale slice the scheduled nightly workflow runs.  The
+#: entries themselves are served by :func:`_resolve` (through
+#: :func:`_nightly_scenarios`) at run time, NOT stored in ``SCENARIOS``,
+#: so their node counts honour ``ATUM_BENCH_SCALE`` when the run starts
+#: rather than when this module was imported.  The name list is static so
+#: importing this module never consults the environment (a malformed
+#: ``ATUM_BENCH_SCALE`` should fail the *run*, not the import).
+NIGHTLY_MATRIX: List[str] = [
+    "nightly/partition_heal",
+    "nightly/silent_minority",
+    "nightly/two_sided_split",
+    "nightly/two_sided_split_pbft",
+]
+
+
 def _correct_origin_fractions(
     cluster: AtumCluster, workload: BroadcastWorkload, faulted: frozenset
 ) -> List[float]:
@@ -324,11 +496,18 @@ def _correct_origin_fractions(
 def _resolve(scenario: "str | Scenario") -> Scenario:
     if isinstance(scenario, Scenario):
         return scenario
+    if scenario.startswith("nightly/"):
+        # Re-derive nightly entries at resolve time so ATUM_BENCH_SCALE is
+        # honoured when the run starts, not when this module was imported.
+        nightly = _nightly_scenarios()
+        if scenario in nightly:
+            return nightly[scenario]
     try:
         return SCENARIOS[scenario]
     except KeyError:
         raise ValueError(
-            f"unknown scenario {scenario!r}; known: {sorted(SCENARIOS)}"
+            f"unknown scenario {scenario!r}; known: "
+            f"{sorted(SCENARIOS) + NIGHTLY_MATRIX}"
         ) from None
 
 
@@ -345,8 +524,14 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         gmin=3,
         round_duration=0.5,
         heartbeat_period=scenario.heartbeat_period,
+        smr_kind=SmrKind.ASYNC if scenario.smr == "async" else SmrKind.SYNC,
     )
-    cluster = AtumCluster(params, seed=seed, enable_heartbeats=scenario.heartbeats)
+    cluster = AtumCluster(
+        params,
+        seed=seed,
+        enable_heartbeats=scenario.heartbeats,
+        antientropy=AntiEntropyConfig() if scenario.antientropy else None,
+    )
     monitor = InvariantMonitor()
     cluster.attach_monitor(monitor)
     addresses = [f"n{i}" for i in range(scenario.nodes)]
@@ -371,7 +556,7 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         )
         workload.run()
         fractions = _correct_origin_fractions(
-            cluster, workload, plan.faulted_addresses()
+            cluster, workload, plan.unavailable_addresses()
         )
         if fractions:
             mean_delivery_fraction = sum(fractions) / len(fractions)
@@ -402,6 +587,11 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         raise ValueError(f"unknown workload {scenario.workload!r}")
 
     cluster.run_until_membership_quiescent(max_time=120.0)
+    if scenario.workload == "broadcast" and scenario.smr == "async":
+        # PBFT executes in gap-free sequence order and its view changes
+        # carry prepared operations, so per-vgroup decided logs must be
+        # prefix-consistent across partitions, splits and heals.
+        monitor.check_smr_prefix_consistency(cluster)
     monitor.finalize()
     summary = monitor.summary()
     metrics = cluster.sim.metrics
@@ -420,6 +610,8 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         "scenario": scenario.name,
         "workload": scenario.workload,
         "plan": scenario.plan,
+        "smr": scenario.smr,
+        "antientropy": scenario.antientropy,
         "seed": seed,
         "system_size": cluster.engine.system_size,
         "group_count": cluster.engine.group_count,
@@ -444,6 +636,16 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
                 "faults.evictions_proposed_by_byzantine"
             ),
             "group.equivocations_sent": metrics.counter("group.equivocations_sent"),
+            "faults.messages_corrupted": metrics.counter("faults.messages_corrupted"),
+            "group.corrupted_shares_dropped": metrics.counter(
+                "group.corrupted_shares_dropped"
+            ),
+            "net.corrupted_discarded": metrics.counter("net.corrupted_discarded"),
+            "group.forged_size_rejected": metrics.counter("group.forged_size_rejected"),
+            "ae.summaries_sent": metrics.counter("ae.summaries_sent"),
+            "ae.shares_resent": metrics.counter("ae.shares_resent"),
+            "ae.reproposals": metrics.counter("ae.reproposals"),
+            "smr.pbft.view_changes": metrics.counter("smr.pbft.view_changes"),
             "membership.joins_completed": metrics.counter("membership.joins_completed"),
             "membership.leaves_completed": metrics.counter("membership.leaves_completed"),
             "membership.evictions_started": metrics.counter("membership.evictions_started"),
@@ -517,16 +719,32 @@ def run_matrix(
             if scenario.workload == "growth"
             else scenario.nodes,
             average_group_size=4.5,  # midpoint of the matrix's gmin=3 / gmax=6
+            # Network-only plans leave every node live and correct, so the
+            # binomial per-node failure model gets p=0: a side-preserving
+            # split degrades links, not nodes (its members stay live and
+            # reconcile to full delivery), exactly like loss/delay/
+            # duplication/corruption.  Per-node-isolation partitions keep
+            # their fraction — isolated nodes are unavailable, like crashes.
             fault_fraction=scenario.fault_fraction
-            if scenario.plan not in ("none", "delay_spike", "dup_storm", "lossy_links")
+            if scenario.plan
+            not in (
+                "none",
+                "delay_spike",
+                "dup_storm",
+                "lossy_links",
+                "corrupt_links",
+                "two_sided_split",
+            )
             else 0.0,
-            synchronous=True,
+            synchronous=scenario.smr != "async",
         )
         rows.append(
             {
                 "scenario": scenario.name,
                 "workload": scenario.workload,
                 "plan": scenario.plan,
+                "smr": scenario.smr,
+                "antientropy": scenario.antientropy,
                 "seeds": list(seeds),
                 "violations": counters.get("scenario.violations", 0.0),
                 "checks_run": counters.get("scenario.checks_run", 0.0),
@@ -576,8 +794,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
     parser.add_argument(
         "--matrix",
         default="small",
-        choices=("small",),
-        help="which scenario set to run (small = every default scenario)",
+        choices=("small", "nightly"),
+        help=(
+            "which scenario set to run (small = every default scenario; "
+            "nightly = the 400*ATUM_BENCH_SCALE-node deployment-scale slice)"
+        ),
     )
     parser.add_argument(
         "--scenario",
@@ -590,16 +811,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
     parser.add_argument("--workers", type=int, default=None, help="worker processes")
     parser.add_argument("--output", default="FAULT_MATRIX.json", help="report path")
     args = parser.parse_args(argv)
-    names = args.scenario or SMALL_MATRIX
+    names = args.scenario or (
+        NIGHTLY_MATRIX if args.matrix == "nightly" else SMALL_MATRIX
+    )
     seeds = [args.base_seed + 4 * index for index in range(args.seeds)]
     report = write_matrix_report(
         args.output, names=names, seeds=seeds, workers=args.workers
     )
     print(json.dumps(report, indent=2, sort_keys=True))
+    failed = False
     if report["total_violations"]:
         print(f"FAILED: {report['total_violations']} invariant violation(s)")
-        return 1
-    return 0
+        failed = True
+    if not report["all_bounds_met"]:
+        missed = [
+            row["scenario"]
+            for row in report["matrix"]
+            if row["delivery_bound_met_runs"] != row["runs"]
+        ]
+        print(f"FAILED: delivery bound missed by {missed}")
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover
@@ -610,6 +842,7 @@ __all__ = [
     "Scenario",
     "SCENARIOS",
     "SMALL_MATRIX",
+    "NIGHTLY_MATRIX",
     "PLAN_BUILDERS",
     "run_scenario",
     "scenario_shard",

@@ -1,0 +1,295 @@
+"""Post-partition anti-entropy: digest-exchange repair of missed broadcasts.
+
+Gossip dissemination is best-effort while the network is degraded: shares
+dropped by a partition are never retransmitted, so a vgroup (or a side of a
+side-preserving split) that missed a broadcast stays divergent forever after
+the heal.  This module adds the repair layer the ROADMAP calls for — and
+that the policy-free-middleware line of work argues must be a first-class
+layer rather than an assumption: each node periodically exchanges a compact
+summary of the broadcast ids it has delivered with gossip neighbours
+(vgroup co-members and members of H-graph neighbour vgroups), detects gaps
+in either direction, and re-requests or re-supplies the missing payloads.
+
+Repair never bypasses the safety machinery it heals:
+
+* **Cross-group repair** re-sends this node's *own share* of the broadcast
+  through :class:`~repro.group.messages.GroupMessenger` under the same
+  deterministic gm-id ordinary forwarding uses, so re-sent shares combine
+  with any shares that survived the partition and the receiving vgroup
+  still accepts only on a strict majority of the sender vgroup.  A hint to
+  co-members makes the rest of the local vgroup re-send their shares too,
+  so a majority accumulates within a couple of periods.
+* **Intra-group repair** re-*proposes* the broadcast operation through the
+  vgroup's own SMR engine (the agreement primitive), which re-decides it at
+  every member; nodes that already delivered dedup on the broadcast id.
+
+All randomness (peer choice) comes from a dedicated per-node seeded stream
+(``antientropy.<address>``), created only when the layer is enabled, so
+runs without anti-entropy are byte-identical to builds without this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class AntiEntropyConfig:
+    """Tunables of the anti-entropy repair layer.
+
+    Attributes:
+        period: Interval between summary exchanges.
+        start_delay: Delay before the first exchange after (re)start.
+        fanout: Peers contacted per tick.
+        max_summary_ids: Newest delivered broadcast ids per summary.  This
+            is also the repair horizon: a gap older than every peer's
+            window can no longer be detected (the ``ae.summary_window_
+            truncated`` counter records when the window saturates), and
+            payloads that age out of it are dropped from the repair store.
+        repair_min_age: Only broadcasts delivered at least this long ago are
+            advertised in summaries.  Ordinary dissemination is still in
+            flight for younger ones, and repairing a gap the next network
+            hop is about to close anyway would waste bandwidth — a quiet
+            healthy system exchanges summaries but repairs nothing.
+        max_repairs_per_peer: Repair actions triggered per incoming message.
+        resend_cooldown: Minimum time between re-sends of the same share to
+            the same target vgroup.
+        repropose_cooldown: Minimum time between SMR re-proposals of the
+            same broadcast inside the own vgroup.
+        summary_bytes_base: Fixed wire size of a summary/request/hint.
+        summary_bytes_per_id: Per-id wire size of a summary/request/hint.
+    """
+
+    period: float = 1.0
+    start_delay: float = 0.5
+    fanout: int = 2
+    max_summary_ids: int = 256
+    repair_min_age: float = 2.0
+    max_repairs_per_peer: int = 16
+    resend_cooldown: float = 2.0
+    repropose_cooldown: float = 4.0
+    summary_bytes_base: int = 48
+    summary_bytes_per_id: int = 8
+
+
+class AntiEntropyRepair:
+    """Per-node anti-entropy component (owned by an ``AtumNode``).
+
+    The host node routes the ``ae.summary`` / ``ae.request`` / ``ae.hint``
+    direct messages here, feeds every delivered broadcast into
+    :meth:`on_delivered`, and starts/stops the periodic timer alongside its
+    membership (started on view install, stopped on leave).
+    """
+
+    def __init__(self, node, config: Optional[AntiEntropyConfig] = None) -> None:
+        self.node = node
+        self.config = config or AntiEntropyConfig()
+        self.running = False
+        self._timer_armed = False
+        self._rng = node.sim.rng.stream(f"antientropy.{node.address}")
+        # Payloads of delivered broadcasts, kept for repair re-supply.
+        self.store: Dict[str, Any] = {}
+        # Cooldown state: (bcast_id, target_group) -> last share re-send,
+        # bcast_id -> last intra-group re-proposal.
+        self._last_resend: Dict[Tuple[str, str], float] = {}
+        self._last_repropose: Dict[str, float] = {}
+        node.register_direct_handler("ae.summary", self._on_summary)
+        node.register_direct_handler("ae.request", self._on_request)
+        node.register_direct_handler("ae.hint", self._on_hint)
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        self.running = True
+        if not self._timer_armed:
+            self._timer_armed = True
+            self.node.sim.schedule(self.config.start_delay, self._tick, tag="ae.tick")
+
+    def stop(self) -> None:
+        self.running = False
+
+    def on_delivered(self, message) -> None:
+        """Record a delivered broadcast's payload for later re-supply.
+
+        The store is bounded by the advertisable summary window: a
+        broadcast that fell out of every peer's newest-``max_summary_ids``
+        summary can never be requested again (repair is pull-only), so its
+        payload — and its repair cooldowns — are dropped.  The trim runs at
+        25% slack so it costs one pass per quarter-window of deliveries.
+        """
+        self.store[message.bcast_id] = message
+        cap = self.config.max_summary_ids
+        if len(self.store) > cap + cap // 4:
+            advertisable = set(self.node.delivered_order[-cap:])
+            for bcast_id in [b for b in self.store if b not in advertisable]:
+                del self.store[bcast_id]
+            for key in [k for k in self._last_resend if k[0] not in advertisable]:
+                del self._last_resend[key]
+            for bcast_id in [b for b in self._last_repropose if b not in advertisable]:
+                del self._last_repropose[bcast_id]
+
+    # -------------------------------------------------------------------- ticks
+
+    def _tick(self) -> None:
+        if not self.running:
+            self._timer_armed = False
+            return
+        self.node.sim.schedule(self.config.period, self._tick, tag="ae.tick")
+        node = self.node
+        if not node.is_correct or not node.is_member:
+            return
+        peers = self._peer_candidates()
+        if not peers:
+            return
+        count = min(self.config.fanout, len(peers))
+        chosen = self._rng.sample(peers, count)
+        # The summary is just the id set: repair direction is carried by the
+        # ae.request reply (which names the *requester's* group).
+        summary = self._summary_ids()
+        size = self.config.summary_bytes_base + self.config.summary_bytes_per_id * len(
+            summary
+        )
+        for peer in chosen:
+            node.send_direct(peer, "ae.summary", summary, size_bytes=size)
+            node.sim.metrics.increment("ae.summaries_sent")
+
+    def _peer_candidates(self) -> List[str]:
+        """Gossip neighbours, in deterministic order: co-members, then members
+        of H-graph cycle-neighbour vgroups."""
+        node = self.node
+        view = node.vgroup_view
+        if view is None:
+            return []
+        own_group = view.group_id
+        candidates: List[str] = [m for m in view.members if m != node.address]
+        seen_groups = {own_group}
+        for pair in node.directory.cycle_neighbor_ids(own_group):
+            for group_id in pair:
+                if group_id in seen_groups:
+                    continue
+                seen_groups.add(group_id)
+                neighbour_view = node.directory.view_of_group(group_id)
+                if neighbour_view is not None:
+                    candidates.extend(neighbour_view.members)
+        return candidates
+
+    def _summary_ids(self) -> Tuple[str, ...]:
+        node = self.node
+        order = node.delivered_order
+        cap = self.config.max_summary_ids
+        if len(order) > cap:
+            # Gaps older than every peer's window become unrepairable; the
+            # counter makes the coverage cap observable instead of silent.
+            node.sim.metrics.increment("ae.summary_window_truncated")
+            order = order[-cap:]
+        threshold = node.sim.now - self.config.repair_min_age
+        delivered = node.delivered
+        return tuple(b for b in order if delivered[b] <= threshold)
+
+    # ----------------------------------------------------------------- handlers
+
+    def _on_summary(self, payload, sender: str) -> None:
+        # Pull-only: the requester knows *exactly* what it lacks, so gaps
+        # detected here are real.  (Pushing on a summary *difference* would
+        # compare two age-filtered snapshots taken at different times and
+        # re-send shares for deliveries that are merely in flight.)
+        node = self.node
+        if not node.is_correct or not node.is_member:
+            return
+        peer_ids = payload
+        cap = self.config.max_repairs_per_peer
+        delivered = node.delivered
+        missing_here = [b for b in peer_ids if b not in delivered]
+        if missing_here:
+            request = (node.vgroup_view.group_id, tuple(missing_here[:cap]))
+            size = self.config.summary_bytes_base + self.config.summary_bytes_per_id * len(
+                request[1]
+            )
+            node.send_direct(sender, "ae.request", request, size_bytes=size)
+            node.sim.metrics.increment("ae.requests_sent")
+
+    def _on_request(self, payload, sender: str) -> None:
+        node = self.node
+        if not node.is_correct or not node.is_member:
+            return
+        requester_group, wanted = payload
+        held = [b for b in wanted if b in self.store]
+        if held:
+            self._repair(held[: self.config.max_repairs_per_peer], requester_group, hint=True)
+
+    def _on_hint(self, payload, sender: str) -> None:
+        """A co-member noticed ``target_group`` misses ids we may hold."""
+        node = self.node
+        if not node.is_correct or not node.is_member:
+            return
+        view = node.vgroup_view
+        if sender not in view.members:
+            return
+        target_group, ids = payload
+        held = [b for b in ids if b in self.store]
+        if held:
+            # No further hinting: hints fan out one intra-group hop only.
+            self._repair(held[: self.config.max_repairs_per_peer], target_group, hint=False)
+
+    # ------------------------------------------------------------------- repair
+
+    def _repair(self, bcast_ids, target_group: str, hint: bool) -> None:
+        node = self.node
+        view = node.vgroup_view
+        if view is None:
+            return
+        now = node.sim.now
+        if target_group == view.group_id:
+            # Intra-group gap: go through the vgroup's own agreement engine.
+            cooldown = self.config.repropose_cooldown
+            for bcast_id in bcast_ids:
+                message = self.store.get(bcast_id)
+                if message is None:
+                    continue
+                last = self._last_repropose.get(bcast_id)
+                if last is not None and now - last < cooldown:
+                    continue
+                self._last_repropose[bcast_id] = now
+                if node.repropose_broadcast(message):
+                    node.sim.metrics.increment("ae.reproposals")
+            return
+        target_view = node.directory.view_of_group(target_group)
+        if target_view is None:
+            return
+        cooldown = self.config.resend_cooldown
+        resent: List[str] = []
+        for bcast_id in bcast_ids:
+            message = self.store.get(bcast_id)
+            if message is None:
+                continue
+            key = (bcast_id, target_group)
+            last = self._last_resend.get(key)
+            if last is not None and now - last < cooldown:
+                continue
+            self._last_resend[key] = now
+            # Same deterministic gm-id as ordinary forwarding, so re-sent
+            # shares combine with shares that survived the partition and the
+            # target still accepts only on a sender-vgroup majority.
+            gm_id = f"gossip:{bcast_id}:{view.group_id}->{target_group}"
+            node.messenger.send(
+                target_view,
+                "gossip",
+                message,
+                gm_id=gm_id,
+                payload_bytes=message.size_bytes + 64,
+            )
+            node.sim.metrics.increment("ae.shares_resent")
+            resent.append(bcast_id)
+        if hint and resent:
+            payload = (target_group, tuple(resent))
+            size = self.config.summary_bytes_base + self.config.summary_bytes_per_id * len(
+                resent
+            )
+            for member in view.members:
+                if member != node.address:
+                    node.send_direct(member, "ae.hint", payload, size_bytes=size)
+                    node.sim.metrics.increment("ae.hints_sent")
+
+
+__all__ = ["AntiEntropyConfig", "AntiEntropyRepair"]

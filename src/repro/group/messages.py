@@ -26,7 +26,7 @@ Hot-path layout (the m×m fan-out of every broadcast hop flows through here):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.crypto.digest import digest_object
@@ -105,6 +105,7 @@ class GroupMessenger:
         payload_bytes: int = 1024,
         digest_bytes: int = 96,
         use_digest_optimization: bool = True,
+        source_size_fn: Optional[Callable[[str], Optional[int]]] = None,
     ) -> None:
         self.binding = binding
         self.own_view_fn = own_view_fn
@@ -112,6 +113,11 @@ class GroupMessenger:
         self.payload_bytes = payload_bytes
         self.digest_bytes = digest_bytes
         self.use_digest_optimization = use_digest_optimization
+        # Directory cross-check of the envelope's claimed sender-group size
+        # (see handle()): returns the smallest size the directory ever saw
+        # for a group id, or None for unknown groups.  ``None`` disables the
+        # check (bare messengers without a directory).
+        self.source_size_fn = source_size_fn
         # Optional observation hook (see repro.faults.invariants): called with
         # (envelope, senders) just before an accepted group message is
         # delivered.  ``None`` costs one attribute check per *accept* (not per
@@ -272,6 +278,21 @@ class GroupMessenger:
             state.full_payload = payload
 
         if not state.accepted and len(senders) >= state.required:
+            # Forged-size rejection: the claimed sender-group size sets the
+            # acceptance threshold, so a Byzantine minority could lie it down
+            # to 1 and push a message through alone.  Cross-check against the
+            # directory's smallest-ever size of the source group: the claim
+            # may never *lower* the majority below the directory's view.
+            # Honest shares always carry a size >= that minimum (shares are
+            # stamped with the size at send time), so this never blocks an
+            # honest group message and never changes event order.
+            if self.source_size_fn is not None:
+                known_size = self.source_size_fn(envelope.source_group)
+                if known_size is not None and len(senders) < majority_threshold(
+                    known_size
+                ):
+                    self._metrics_increment("group.forged_size_rejected")
+                    return
             state.accepted = True
         if state.accepted and state.full_payload is not None:
             # Accepted with a full copy available: deliver exactly once, then
@@ -292,6 +313,39 @@ class GroupMessenger:
             self.on_accept(
                 envelope.kind, state.full_payload, envelope.source_group, gm_id
             )
+
+    def verify_share(self, envelope: GroupMessageEnvelope) -> bool:
+        """Payload-digest verification of one full share.
+
+        A share carrying a full payload must digest to the envelope's
+        ``digest`` field; anything else is wire corruption (or tampering)
+        and must be discarded before it can pollute accumulation state.
+        Digest-only shares carry nothing to verify — a corrupted digest is
+        indistinguishable from an equivocating digest and lands in its own
+        conflicting bucket, where it can never reach a majority.
+        """
+        if envelope.payload is None:
+            return True
+        return digest_object(envelope.payload) == envelope.digest
+
+    def handle_corrupted(self, envelope: GroupMessageEnvelope, sender: str) -> None:
+        """Process a share whose bits were flipped in transit.
+
+        Models the corruption, then runs the same digest verification a
+        receiver applies to any full share: the tampered payload no longer
+        matches the envelope's digest, so the share is discarded.  A share
+        that (impossibly, for a collision-resistant digest) still verified
+        would be processed normally.
+        """
+        if envelope.payload is not None:
+            tampered = replace(envelope, payload=("bitflip", envelope.payload))
+        else:
+            # Digest-only share: the flip garbles the digest itself.
+            tampered = replace(envelope, digest="bitflip:" + envelope.digest)
+        if not self.verify_share(tampered):
+            self._metrics_increment("group.corrupted_shares_dropped")
+            return
+        self.handle(tampered, sender)
 
     # ----------------------------------------------------------------- queries
 

@@ -22,7 +22,7 @@ from typing import Any, Dict, Iterable, Optional, Set
 from repro.sim.events import Event
 
 from repro.net.latency import LatencyModel, LanProfile
-from repro.net.message import Message
+from repro.net.message import CorruptedPayload, Message
 from repro.sim.actor import Actor
 from repro.sim.simulator import Simulator
 
@@ -105,6 +105,10 @@ class _Delivery(Event):
         if receiver in network._partitioned:
             counters["net.messages_partitioned"] += 1.0
             return
+        if network._splits and network.crosses_split(self.sender, receiver):
+            # A split that formed while the message was in flight.
+            counters["net.messages_partitioned"] += 1.0
+            return
         counters["net.messages_delivered"] += 1.0
         # ``self.time`` equals the simulator clock at delivery, saving the
         # ``network.sim._now`` chain on every message.
@@ -150,6 +154,7 @@ class _FanoutDelivery(Event):
         actors_get = network._actors.get
         counters = network._counters
         partitioned = network._partitioned
+        splits = network._splits
         record = network._delivery_latency.record
         latency = self.time - self.sent_at
         payload = self.payload
@@ -160,7 +165,9 @@ class _FanoutDelivery(Event):
             if actor is None or not actor.alive:
                 counters["net.messages_undeliverable"] += 1.0
                 continue
-            if partitioned and receiver in partitioned:
+            if (partitioned and receiver in partitioned) or (
+                splits and network.crosses_split(sender, receiver)
+            ):
                 counters["net.messages_partitioned"] += 1.0
                 continue
             delivered += 1
@@ -184,6 +191,12 @@ class Network:
         self.config = config or NetworkConfig()
         self._actors: Dict[str, Actor] = {}
         self._partitioned: Set[str] = set()
+        # Active side-preserving splits: split id -> {address: side index}.
+        # A message is dropped iff some active split maps both endpoints to
+        # *different* sides; addresses a split does not name are unaffected.
+        # Empty dict = one truthiness check on the fast paths, nothing more.
+        self._splits: Dict[int, Dict[str, int]] = {}
+        self._split_seq = 0
         self._rng = sim.rng.stream("network")
         # Optional fault injector (see repro.faults): when installed, every
         # send path detours through _schedule_perturbed.  ``None`` keeps the
@@ -225,7 +238,8 @@ class Network:
         """Route all traffic through ``injector`` (see :mod:`repro.faults`).
 
         The injector must expose ``perturb(sender, receiver, now)`` returning
-        ``None`` (no matching rule) or ``(drop, extra_delay, copies)``.
+        ``None`` (no matching rule) or ``(drop, extra_delay, copies,
+        corrupted)``.
         """
         self._fault_injector = injector
 
@@ -248,6 +262,42 @@ class Network:
 
     def is_partitioned(self, address: str) -> bool:
         return address in self._partitioned
+
+    # ------------------------------------------------- side-preserving splits
+
+    def split(self, sides: Iterable[Iterable[str]]) -> int:
+        """Install a side-preserving split; returns its id (for :meth:`merge`).
+
+        Each side stays internally connected; only messages whose endpoints
+        fall on *different* sides are dropped.  Addresses not named by any
+        side are unaffected.  Multiple splits compose: a message is dropped
+        if any active split separates its endpoints.
+        """
+        mapping: Dict[str, int] = {}
+        for index, side in enumerate(sides):
+            for address in side:
+                mapping[address] = index
+        self._split_seq += 1
+        self._splits[self._split_seq] = mapping
+        return self._split_seq
+
+    def merge(self, split_id: Optional[int] = None) -> None:
+        """Heal a side-preserving split by id (or all splits, if omitted)."""
+        if split_id is None:
+            self._splits.clear()
+        else:
+            self._splits.pop(split_id, None)
+
+    def crosses_split(self, sender: str, receiver: str) -> bool:
+        """Whether any active split separates ``sender`` from ``receiver``."""
+        for mapping in self._splits.values():
+            side = mapping.get(sender)
+            if side is None:
+                continue
+            other = mapping.get(receiver)
+            if other is not None and other != side:
+                return True
+        return False
 
     # ------------------------------------------------------------------ sending
 
@@ -313,6 +363,7 @@ class Network:
         partitioned = self._partitioned
         sender_partitioned = bool(partitioned) and sender in partitioned
         check_partition = bool(partitioned)
+        splits = self._splits
         latency_model = self.latency_model
         constant_latency = latency_model.constant_latency
         sample = latency_model.sample
@@ -326,7 +377,7 @@ class Network:
         # Float arithmetic below mirrors _route() + Simulator.schedule()
         # exactly (including the delay round-trip), keeping event times
         # bit-identical to the pre-batching path.
-        if not check_partition and loss == 0.0 and constant_latency is not None:
+        if not check_partition and not splits and loss == 0.0 and constant_latency is not None:
             # Tight loop for the dominant case: healthy network, constant
             # latency model — no per-message drop checks or samples.
             propagated = now + constant_latency
@@ -346,7 +397,9 @@ class Network:
         else:
             for receiver, payload, size_bytes in batch:
                 total_bytes += size_bytes
-                if check_partition and (sender_partitioned or receiver in partitioned):
+                if (
+                    check_partition and (sender_partitioned or receiver in partitioned)
+                ) or (splits and self.crosses_split(sender, receiver)):
                     counters["net.messages_partitioned"] += 1.0
                     continue
                 if loss > 0.0 and rng.random() < loss:
@@ -411,6 +464,7 @@ class Network:
         sim = self.sim
         now = sim._now
         partitioned = self._partitioned
+        splits = self._splits
         loss = config.loss_probability
         constant_latency = self.latency_model.constant_latency
         downlink = self._downlink_free_at
@@ -420,7 +474,7 @@ class Network:
         seq = queue._seq
         transfer = (size_bytes + config.headers_bytes) / config.bandwidth_bytes_per_s
         dispatched = 0
-        if not partitioned and loss == 0.0 and constant_latency is not None:
+        if not partitioned and not splits and loss == 0.0 and constant_latency is not None:
             propagated = now + constant_latency
             if config.coalesced_fanout_delivery:
                 # Bucket consecutive same-delivery-time receivers into one
@@ -463,7 +517,9 @@ class Network:
             sender_partitioned = bool(partitioned) and sender in partitioned
             check_partition = bool(partitioned)
             for receiver in batch:
-                if check_partition and (sender_partitioned or receiver in partitioned):
+                if (
+                    check_partition and (sender_partitioned or receiver in partitioned)
+                ) or (splits and self.crosses_split(sender, receiver)):
                     counters["net.messages_partitioned"] += 1.0
                     continue
                 if loss > 0.0 and rng.random() < loss:
@@ -513,6 +569,9 @@ class Network:
         if partitioned and (sender in partitioned or receiver in partitioned):
             counters["net.messages_partitioned"] += 1.0
             return False
+        if self._splits and self.crosses_split(sender, receiver):
+            counters["net.messages_partitioned"] += 1.0
+            return False
         config = self.config
         loss = config.loss_probability
         rng = self._rng
@@ -552,14 +611,19 @@ class Network:
 
         Mirrors the partition/loss accounting and float arithmetic of the
         fast paths exactly, then applies the injector verdict: drop the
-        message, add propagation delay, or deliver extra copies (each copy
+        message, add propagation delay, deliver extra copies (each copy
         passes through the receiver's downlink serialization, so duplication
-        storms consume real bandwidth).  Returns 1 when at least one copy was
-        scheduled, 0 when the message was dropped.
+        storms consume real bandwidth), or corrupt the payload (delivered
+        wrapped in :class:`CorruptedPayload` for the receiver to detect and
+        discard).  Returns 1 when at least one copy was scheduled, 0 when
+        the message was dropped.
         """
         counters = self._counters
         partitioned = self._partitioned
         if partitioned and (sender in partitioned or receiver in partitioned):
+            counters["net.messages_partitioned"] += 1.0
+            return 0
+        if self._splits and self.crosses_split(sender, receiver):
             counters["net.messages_partitioned"] += 1.0
             return 0
         config = self.config
@@ -575,10 +639,12 @@ class Network:
             extra_delay = 0.0
             copies = 1
         else:
-            dropped, extra_delay, copies = verdict
+            dropped, extra_delay, copies, corrupted = verdict
             if dropped:
                 counters["net.messages_lost"] += 1.0
                 return 0
+            if corrupted:
+                payload = CorruptedPayload(payload)
         latency_model = self.latency_model
         constant_latency = latency_model.constant_latency
         propagation = (
@@ -624,6 +690,9 @@ class Network:
         ):
             self.sim.metrics.increment("net.messages_partitioned")
             return None
+        if self._splits and self.crosses_split(message.sender, message.receiver):
+            self.sim.metrics.increment("net.messages_partitioned")
+            return None
         if self.config.loss_probability > 0.0 and (
             self._rng.random() < self.config.loss_probability
         ):
@@ -657,6 +726,9 @@ class Network:
             self.sim.metrics.increment("net.messages_undeliverable")
             return
         if message.receiver in self._partitioned:
+            self.sim.metrics.increment("net.messages_partitioned")
+            return
+        if self._splits and self.crosses_split(message.sender, message.receiver):
             self.sim.metrics.increment("net.messages_partitioned")
             return
         self.sim.metrics.increment("net.messages_delivered")

@@ -109,6 +109,16 @@ class SmrReplica(abc.ABC):
     def propose(self, operation: Operation) -> None:
         """Submit an operation for agreement."""
 
+    def repropose(self, operation: Operation) -> None:
+        """Re-submit a previously decided operation for a fresh agreement.
+
+        Used by anti-entropy repair: re-deciding an operation re-delivers
+        it to group members that missed the original decision.  The base
+        implementation just proposes again; engines that dedup executed
+        operations (PBFT) override this to bypass that dedup.
+        """
+        self.propose(operation)
+
     @abc.abstractmethod
     def on_message(self, payload: Any, sender: str) -> None:
         """Handle an SMR protocol message from a group peer."""

@@ -28,10 +28,17 @@ from repro.smr.base import Operation, SmrConfig, SmrReplica, async_fault_thresho
 
 @dataclass
 class PbftRequest:
-    """A client-style request forwarded to the primary."""
+    """A client-style request forwarded to the primary.
+
+    ``repropose`` marks an anti-entropy re-proposal of an operation the
+    sender knows was decided before: receivers must not drop it on their
+    executed-operation dedup, or members that missed the original decision
+    could never be re-served through the agreement engine.
+    """
 
     operation: Operation
     epoch: int
+    repropose: bool = False
 
 
 @dataclass
@@ -66,7 +73,15 @@ class PbftViewChange:
     epoch: int
     new_view: int
     replica: str
-    prepared: Tuple[Tuple[int, str], ...]  # (seq, digest) pairs prepared so far
+    # (view, seq, digest, operation) tuples this replica prepared.  Carrying
+    # the operations (not just digests) lets the new primary re-propose
+    # them, which is what preserves decided prefixes across a view change:
+    # quorum intersection guarantees every committed operation is prepared
+    # at one of the 2f+1 voters.  The view matters because sequence numbers
+    # are per-view: the new primary must prefer the highest-view prepared
+    # entry for a sequence slot, or a straggler's stale prepared operation
+    # could displace one committed later under the same bare seq.
+    prepared: Tuple[Tuple[int, int, str, Operation], ...]
 
 
 @dataclass
@@ -159,6 +174,30 @@ class PbftReplica(SmrReplica):
             request = PbftRequest(operation=operation, epoch=self.epoch)
             self._broadcast(request)
 
+    def repropose(self, operation: Operation) -> None:
+        """Re-submit a previously decided operation for a fresh agreement.
+
+        Bypasses the executed-operation dedup of :meth:`propose` on both the
+        send and receive side (``PbftRequest.repropose``): re-deciding at a
+        new sequence number is how anti-entropy re-serves an operation to
+        members that missed the original decision — members that already
+        executed it skip the duplicate on its op id at execution time, and
+        repeated identical re-proposals collapse onto one current-view slot
+        through the duplicate-digest check.  (A member stalled at an
+        execution gap in the current view still catches up through the next
+        view change, whose votes carry every prepared operation.)
+        """
+        if not self.running:
+            return
+        self._pending_requests[operation.op_id] = operation
+        self._arm_view_change_timer()
+        if self.is_primary():
+            self._assign_and_preprepare(operation)
+        else:
+            self._broadcast(
+                PbftRequest(operation=operation, epoch=self.epoch, repropose=True)
+            )
+
     def on_message(self, payload: Any, sender: str) -> None:
         if not self.running:
             return
@@ -197,7 +236,7 @@ class PbftReplica(SmrReplica):
         if request.epoch != self.epoch:
             return
         operation = request.operation
-        if operation.op_id in self._executed_ops:
+        if operation.op_id in self._executed_ops and not request.repropose:
             return
         self._pending_requests.setdefault(operation.op_id, operation)
         self._arm_view_change_timer()
@@ -206,9 +245,14 @@ class PbftReplica(SmrReplica):
 
     def _assign_and_preprepare(self, operation: Operation) -> None:
         digest = digest_object(operation)
-        for slot in self._slots.values():
-            if slot.digest == digest:
-                return  # already assigned a sequence number
+        # Duplicate suppression must only consider *current-view* slots:
+        # prepared slots of earlier views are retained for view-change votes
+        # (see _on_new_view), and matching against them would make the new
+        # primary silently skip re-proposing exactly the operations the
+        # view change carried over.
+        for (view, _seq), slot in self._slots.items():
+            if view == self.view and slot.digest == digest:
+                return  # already assigned a sequence number in this view
         seq = self.next_seq
         self.next_seq += 1
         pre_prepare = PbftPrePrepare(
@@ -301,10 +345,14 @@ class PbftReplica(SmrReplica):
             self.last_executed = seq
             progressed = True
             operation = slot.operation
-            if operation is not None and operation.op_id not in self._executed_ops:
-                self._executed_ops.add(operation.op_id)
+            if operation is not None:
+                # Clear pending state even for duplicate executions (re-
+                # proposed operations), or the view-change timer would keep
+                # firing for an entry that can never execute "again".
                 self._pending_requests.pop(operation.op_id, None)
-                self._commit(operation)
+                if operation.op_id not in self._executed_ops:
+                    self._executed_ops.add(operation.op_id)
+                    self._commit(operation)
         if not self._pending_requests:
             self._view_change_timer_armed = False
 
@@ -332,15 +380,28 @@ class PbftReplica(SmrReplica):
 
         self.sim.schedule(timeout, check, tag=f"{self.node_id}:pbft-vc")
 
+    def _prepared_slots(self) -> Tuple[Tuple[int, int, str, "Operation"], ...]:
+        """(view, seq, digest, operation) of every retained prepared slot.
+
+        Includes prepared slots from *earlier* views of this epoch (they are
+        deliberately retained across view changes): an operation committed
+        in view v must keep appearing in view-change votes for v+2, v+3, …
+        or a chain of view changes would forget it and break the decided
+        prefix.
+        """
+        return tuple(
+            (view, seq, slot.digest or "", slot.operation)
+            for (view, seq), slot in sorted(self._slots.items())
+            if slot.prepared and slot.operation is not None
+        )
+
     def _start_view_change(self) -> None:
         new_view = self.view + 1
-        prepared = tuple(
-            (seq, slot.digest or "")
-            for (view, seq), slot in sorted(self._slots.items())
-            if slot.prepared and view == self.view
-        )
         message = PbftViewChange(
-            epoch=self.epoch, new_view=new_view, replica=self.node_id, prepared=prepared
+            epoch=self.epoch,
+            new_view=new_view,
+            replica=self.node_id,
+            prepared=self._prepared_slots(),
         )
         self.sim.metrics.increment("smr.pbft.view_changes")
         self._broadcast(message)
@@ -354,16 +415,11 @@ class PbftReplica(SmrReplica):
         # Join the view change when another replica started it; this avoids
         # waiting for our own timeout and gets the new primary its quorum.
         if self.node_id not in votes:
-            own_prepared = tuple(
-                (seq, slot.digest or "")
-                for (view, seq), slot in sorted(self._slots.items())
-                if slot.prepared and view == self.view
-            )
             own = PbftViewChange(
                 epoch=self.epoch,
                 new_view=message.new_view,
                 replica=self.node_id,
-                prepared=own_prepared,
+                prepared=self._prepared_slots(),
             )
             votes[self.node_id] = own
             self._broadcast(own)
@@ -375,10 +431,39 @@ class PbftReplica(SmrReplica):
             self._emit_new_view(message.new_view)
 
     def _emit_new_view(self, new_view: int) -> None:
-        # Re-propose pending operations (prepared-but-unexecuted and queued).
+        # Carry over every operation some view-change voter prepared in the
+        # old view, in original sequence order, *before* queued requests:
+        # quorum intersection puts every committed operation among the 2f+1
+        # votes, so replicas that missed its commit (partitioned, lagging)
+        # re-execute it at the same relative position — decided prefixes
+        # survive the view change.  Replicas that already executed an op
+        # skip the duplicate on its op id.
+        votes = self._view_change_votes.get(new_view, {})
+        # Sequence numbers are per-view, so carried slots are keyed by the
+        # full (view, seq) pair — a straggler's stale view-(v-1) prepared
+        # operation never displaces one committed under the same bare seq
+        # in view v.  Lexicographic (view, seq) order IS the execution
+        # order within an epoch (each new view re-executes carried ops
+        # before new ones), and deduping by op id on first appearance
+        # keeps every operation at its original rank, so the carry is
+        # prefix-preserving across *chains* of view changes.  Conflicting
+        # claims for one slot resolve deterministically by replica order.
+        carried: Dict[Tuple[int, int], Operation] = {}
+        for replica in sorted(votes):
+            for old_view, old_seq, _digest, operation in votes[replica].prepared:
+                if operation is not None and (old_view, old_seq) not in carried:
+                    carried[(old_view, old_seq)] = operation
         operations: List[Tuple[int, Operation]] = []
         seq = 0
         seen: Set[str] = set()
+        for slot_key in sorted(carried):
+            operation = carried[slot_key]
+            if operation.op_id in seen:
+                continue
+            seen.add(operation.op_id)
+            operations.append((seq, operation))
+            seq += 1
+        # Then everything still pending (prepared-but-uncarried and queued).
         for operation in self._pending_requests.values():
             if operation.op_id in self._executed_ops or operation.op_id in seen:
                 continue
@@ -401,8 +486,14 @@ class PbftReplica(SmrReplica):
         self.view = message.new_view
         self.next_seq = 0
         self.last_executed = -1
+        # Keep prepared slots of earlier views: they feed future view-change
+        # votes (see _prepared_slots), which is what lets committed
+        # operations survive a chain of view changes.  Unprepared old slots
+        # are dead state and are dropped.
         self._slots = {
-            key: slot for key, slot in self._slots.items() if key[0] >= self.view
+            key: slot
+            for key, slot in self._slots.items()
+            if key[0] >= self.view or slot.prepared
         }
         self.sim.metrics.increment("smr.pbft.new_views")
         if self.is_primary():

@@ -1,0 +1,188 @@
+"""Tests for the anti-entropy repair layer (repro.group.antientropy)."""
+
+import pytest
+
+from repro.core.cluster import AtumCluster
+from repro.core.config import AtumParameters
+from repro.faults import FaultPlan, Partition, apply_plan
+from repro.faults.invariants import InvariantMonitor
+from repro.group.antientropy import AntiEntropyConfig
+
+
+def small_params(**overrides):
+    defaults = dict(hc=3, rwl=5, gmax=6, gmin=3, round_duration=0.5)
+    defaults.update(overrides)
+    return AtumParameters(**defaults)
+
+
+def build_cluster(seed=9, nodes=16, antientropy=True, monitor=None, **kwargs):
+    cluster = AtumCluster(
+        small_params(),
+        seed=seed,
+        antientropy=AntiEntropyConfig() if antientropy else None,
+        **kwargs,
+    )
+    if monitor is not None:
+        cluster.attach_monitor(monitor)
+    cluster.build_static([f"n{i}" for i in range(nodes)])
+    return cluster
+
+
+class TestWiring:
+    def test_disabled_by_default(self):
+        cluster = build_cluster(antientropy=False)
+        assert all(node.antientropy is None for node in cluster.nodes.values())
+
+    def test_enabled_component_runs_with_membership(self):
+        cluster = build_cluster()
+        node = cluster.nodes["n0"]
+        assert node.antientropy is not None and node.antientropy.running
+        cluster.leave("n0")
+        cluster.run_until_membership_quiescent(max_time=60.0)
+        assert not node.antientropy.running
+
+    def test_delivered_broadcasts_are_stored(self):
+        cluster = build_cluster()
+        bcast_id = cluster.broadcast("n0", "payload")
+        cluster.run(until=10.0)
+        holders = [
+            node
+            for node in cluster.nodes.values()
+            if bcast_id in node.antientropy.store
+        ]
+        assert len(holders) == len(cluster.nodes)
+        assert holders[0].antientropy.store[bcast_id].payload == "payload"
+
+    def test_store_is_bounded_by_the_summary_window(self):
+        cluster = build_cluster(seed=15, nodes=8)
+        # Shrink the window so the bound is cheap to exercise.
+        for node in cluster.nodes.values():
+            node.antientropy.config = AntiEntropyConfig(max_summary_ids=4)
+        for index in range(12):
+            cluster.sim.schedule(
+                0.2 * index, lambda i=index: cluster.broadcast("n0", f"b{i}")
+            )
+        cluster.run(until=20.0)
+        for node in cluster.nodes.values():
+            store = node.antientropy.store
+            assert len(store) <= 5  # cap + 25% slack
+            # only the newest window survives
+            assert set(store) <= set(node.delivered_order[-5:])
+        assert cluster.sim.metrics.counter("ae.summary_window_truncated") > 0
+
+    def test_quiet_system_exchanges_summaries_but_repairs_nothing(self):
+        cluster = build_cluster(seed=13)
+        cluster.broadcast("n0", "x")
+        cluster.run(until=15.0)
+        metrics = cluster.sim.metrics
+        assert metrics.counter("ae.summaries_sent") > 0
+        assert metrics.counter("ae.shares_resent") == 0
+        assert metrics.counter("ae.reproposals") == 0
+
+
+class TestRepair:
+    def test_isolated_node_catches_up_after_heal(self):
+        # n1 is fully cut off while a broadcast disseminates; without
+        # anti-entropy it would stay divergent forever (no retransmission).
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=21, monitor=monitor)
+        plan = FaultPlan(partitions=(Partition(members=("n1",), start=0.0, heal_at=6.0),))
+        apply_plan(cluster, plan, monitor=monitor)
+        ids = {}
+        cluster.sim.schedule(1.0, lambda: ids.setdefault("id", cluster.broadcast("n0", "d")))
+        cluster.run(until=5.0)
+        assert not cluster.nodes["n1"].has_delivered(ids["id"])  # still cut
+        cluster.run(until=30.0)
+        assert cluster.nodes["n1"].has_delivered(ids["id"])  # repaired
+        assert cluster.delivery_fraction(ids["id"]) == 1.0
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_two_sided_split_reconciles_both_directions(self):
+        # Broadcasts originate on BOTH sides during the split; each side
+        # diverges and anti-entropy must reconcile both after the heal.
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=23, nodes=20, monitor=monitor)
+        addresses = sorted(cluster.nodes)
+        side_a = tuple(addresses[0::2])
+        side_b = tuple(addresses[1::2])
+        plan = FaultPlan(
+            partitions=(Partition(sides=(side_a, side_b), start=0.5, heal_at=6.0),)
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        ids = {}
+        cluster.sim.schedule(
+            1.0, lambda: ids.setdefault("a", cluster.broadcast(side_a[0], "from-a"))
+        )
+        cluster.sim.schedule(
+            1.0, lambda: ids.setdefault("b", cluster.broadcast(side_b[0], "from-b"))
+        )
+        cluster.run(until=5.5)
+        # Divergence while split: neither broadcast crossed the cut.
+        assert cluster.delivery_fraction(ids["a"]) < 1.0
+        assert cluster.delivery_fraction(ids["b"]) < 1.0
+        cluster.run(until=45.0)
+        assert cluster.delivery_fraction(ids["a"]) == 1.0
+        assert cluster.delivery_fraction(ids["b"]) == 1.0
+        metrics = cluster.sim.metrics
+        assert metrics.counter("ae.shares_resent") > 0
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_repair_respects_group_message_majority(self):
+        # The repair path re-sends ordinary shares under the ordinary gm-id:
+        # a single re-sender can never push a message past the majority rule
+        # by itself, so acceptance counters only move once enough distinct
+        # co-members re-sent.  Indirect check: repaired deliveries at the
+        # healed node arrive through group-message accepts, not some side
+        # channel -- the accept count grows between heal and repair.
+        cluster = build_cluster(seed=27)
+        plan = FaultPlan(partitions=(Partition(members=("n1",), start=0.0, heal_at=6.0),))
+        apply_plan(cluster, plan)
+        ids = {}
+        cluster.sim.schedule(1.0, lambda: ids.setdefault("id", cluster.broadcast("n0", "d")))
+        cluster.run(until=6.0)
+        accepted_at_heal = cluster.sim.metrics.counter("group.messages_accepted")
+        cluster.run(until=30.0)
+        assert cluster.nodes["n1"].has_delivered(ids["id"])
+        assert cluster.sim.metrics.counter("group.messages_accepted") > accepted_at_heal
+
+    def test_byzantine_nodes_do_not_run_anti_entropy(self):
+        cluster = build_cluster(seed=31)
+        cluster.make_byzantine(["n2"], mode="silent")
+        cluster.broadcast("n0", "x")
+        before = cluster.sim.metrics.counter("ae.summaries_sent")
+        cluster.run(until=10.0)
+        total_after = cluster.sim.metrics.counter("ae.summaries_sent")
+        assert total_after > before  # correct nodes gossip summaries
+        # A deterministic upper bound: with one silent node, at most
+        # (n - 1) * fanout summaries per completed tick round.
+        config = cluster.nodes["n0"].antientropy.config
+        ticks = int((10.0 - config.start_delay) / config.period) + 1
+        assert total_after <= (len(cluster.nodes) - 1) * config.fanout * ticks
+
+
+class TestDeterminism:
+    def test_antientropy_runs_are_replayable(self):
+        def run():
+            cluster = build_cluster(seed=37, nodes=20)
+            addresses = sorted(cluster.nodes)
+            plan = FaultPlan(
+                partitions=(
+                    Partition(
+                        sides=(tuple(addresses[0::2]), tuple(addresses[1::2])),
+                        start=0.5,
+                        heal_at=5.0,
+                    ),
+                )
+            )
+            apply_plan(cluster, plan)
+            cluster.sim.schedule(1.0, lambda: cluster.broadcast("n0", "d"))
+            trace = []
+            cluster.sim.run(until=25.0, trace=trace)
+            return trace, dict(cluster.sim.metrics.counters)
+
+        first_trace, first_counters = run()
+        second_trace, second_counters = run()
+        assert first_trace == second_trace
+        assert first_counters == second_counters

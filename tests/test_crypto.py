@@ -317,6 +317,37 @@ class TestCertificateChains:
         del chain.certificates[1]
         assert not chain.verify(registry, origin_group="G0")
 
+    def test_corrupted_certificate_statement_fails_verification(self):
+        # Wire corruption of a certificate: any bit-flip in the signed
+        # statement changes its canonical digest, so every signature check
+        # against the tampered statement fails and the chain is rejected.
+        from dataclasses import replace
+
+        registry = KeyRegistry()
+        chain = self._chain(registry, hops=3)
+        original = chain.certificates[1]
+        chain.certificates[1] = replace(
+            original, issuer_members=tuple(original.issuer_members) + ("bitflip",)
+        )
+        assert not chain.verify(registry, origin_group="G0")
+        # Restoring the original statement restores verification.
+        chain.certificates[1] = original
+        assert chain.verify(registry, origin_group="G0")
+
+    def test_corrupted_signature_bytes_fail_verification(self):
+        from dataclasses import replace
+
+        registry = KeyRegistry()
+        chain = self._chain(registry, hops=1, quorum_per_hop=2)
+        certificate = chain.certificates[0]
+        # Flip the digest carried inside every signature: no quorum remains.
+        tampered = tuple(
+            replace(signature, digest="00" + signature.digest[2:])
+            for signature in certificate.signatures
+        )
+        chain.certificates[0] = replace(certificate, signatures=tampered)
+        assert not chain.verify(registry, origin_group="G0")
+
     def test_chain_without_majority_fails(self):
         registry = KeyRegistry()
         chain = CertificateChain(walk_id="w")

@@ -22,6 +22,7 @@ from repro.faults.scenarios import SCENARIOS, SMALL_MATRIX, run_scenario, scenar
 from repro.group.messages import GroupMessageEnvelope, GroupMessenger, NodeBinding
 from repro.group.vgroup import VGroupView
 from repro.net.latency import FixedLatency
+from repro.net.message import CorruptedPayload
 from repro.net.network import Network
 from repro.sim.actor import Actor
 from repro.sim.runpar import run_and_merge
@@ -83,6 +84,45 @@ class TestFaultPlan:
         assert not rule.matches("c", "b", 1.5)
         assert not rule.matches("a", "b", 2.0)
         assert not rule.matches("a", "b", 0.5)
+
+    def test_corrupt_probability_validated(self):
+        assert LinkFault(corrupt=0.5).corrupt == 0.5
+        with pytest.raises(ValueError):
+            LinkFault(corrupt=1.2)
+        with pytest.raises(ValueError):
+            LinkFault(corrupt=-0.1)
+
+    def test_side_preserving_partition_schema(self):
+        partition = Partition(sides=(("a", "b"), ("c",)), start=1.0, heal_at=2.0)
+        assert partition.is_side_preserving
+        # members derives as the sorted union of the sides
+        assert partition.members == ("a", "b", "c")
+        assert not Partition(members=("a",)).is_side_preserving
+
+    def test_side_preserving_partition_validation(self):
+        with pytest.raises(ValueError):  # one side is not a split
+            Partition(sides=(("a", "b"),))
+        with pytest.raises(ValueError):  # empty side
+            Partition(sides=(("a",), ()))
+        with pytest.raises(ValueError):  # overlapping sides
+            Partition(sides=(("a", "b"), ("b", "c")))
+        with pytest.raises(ValueError):  # inconsistent explicit members
+            Partition(members=("a",), sides=(("a",), ("b",)))
+        # consistent explicit members are accepted
+        assert Partition(members=("a", "b"), sides=(("a",), ("b",))).members == ("a", "b")
+
+    def test_side_members_not_counted_unavailable(self):
+        plan = FaultPlan(
+            partitions=(
+                Partition(sides=(("a",), ("b",))),
+                Partition(members=("c",)),
+            ),
+            nodes=(NodeFault(address="d", behaviour="crash"),),
+        )
+        # all partitioned/faulted addresses are exempt from eviction checks...
+        assert plan.faulted_addresses() == {"a", "b", "c", "d"}
+        # ...but side members stay *available* (their broadcasts keep the bound)
+        assert plan.unavailable_addresses() == {"c", "d"}
 
 
 # ----------------------------------------------------------- network injector
@@ -172,6 +212,171 @@ class TestLinkFaultInjector:
         sim.run_until_idle()
         assert sinks["b"].received == [] and sinks["c"].received == []
         assert sim.metrics.counter("faults.messages_dropped") == 5
+
+
+# -------------------------------------------------------------- corruption
+
+
+class TestCorruptionFault:
+    def test_all_send_paths_deliver_corrupted_wrapper(self):
+        # The wire-level contract: with corrupt=1.0 every path hands the
+        # receiver a CorruptedPayload wrapper (which protocol actors then
+        # verify and discard) instead of the raw payload.
+        sim = Simulator(seed=6)
+        network = Network(sim, latency_model=FixedLatency(0.01))
+        sinks = {name: _Sink(sim, name) for name in ("a", "b", "c")}
+        for sink in sinks.values():
+            network.register(sink)
+        install_link_faults(network, sim, [LinkFault(corrupt=1.0)])
+        network.send("a", "b", "p1", 64)
+        network.send_one("a", "b", "p2", 64)
+        network.send_burst("a", [("b", "p3", 64), ("c", "p4", 64)])
+        network.send_fanout("a", ["b", "c"], "p5", 64)
+        sim.run_until_idle()
+        received = [p for _, p, _ in sinks["b"].received] + [
+            p for _, p, _ in sinks["c"].received
+        ]
+        assert len(received) == 6
+        assert all(isinstance(p, CorruptedPayload) for p in received)
+        assert sim.metrics.counter("faults.messages_corrupted") == 6
+
+    def test_corrupted_full_share_fails_digest_verification(self):
+        sim = Simulator(seed=8)
+        network = Network(sim, latency_model=FixedLatency(0.005))
+        view = VGroupView.create("B", ["b0"])
+        node = _GmNode(sim, network, "b0", view)
+        network.register(node)
+        payload = {"value": 42}
+        envelope = GroupMessageEnvelope(
+            gm_id="gm-c1",
+            source_group="A",
+            source_epoch=0,
+            target_group="B",
+            kind="k",
+            payload=payload,
+            digest=digest_object(payload),
+            sender_group_size=1,
+        )
+        assert node.messenger.verify_share(envelope)  # intact share verifies
+        node.messenger.handle_corrupted(envelope, "a0")
+        assert node.accepted == []  # discarded before accumulation
+        assert node.messenger.pending_count() == 0
+        assert sim.metrics.counter("group.corrupted_shares_dropped") == 1
+
+    def test_corrupted_digest_share_cannot_reach_majority(self):
+        # A digest-only share carries nothing to verify; the garbled digest
+        # lands in its own conflicting bucket like an equivocation and the
+        # honest shares still win.
+        sim, view_b, nodes = TestEquivocation()._group_pair(seed=30)
+        honest_digest_envelope = GroupMessageEnvelope(
+            gm_id="gm1",
+            source_group="A",
+            source_epoch=0,
+            target_group="B",
+            kind="k",
+            payload=None,
+            digest=digest_object("honest"),
+            sender_group_size=3,
+        )
+        nodes["b0"].messenger.handle_corrupted(honest_digest_envelope, "a2")
+        nodes["a0"].messenger.send(view_b, "k", "honest", gm_id="gm1")
+        nodes["a1"].messenger.send(view_b, "k", "honest", gm_id="gm1")
+        sim.run_until_idle()
+        accepted = nodes["b0"].accepted
+        assert len(accepted) == 1 and accepted[0][1] == "honest"
+
+    def test_cluster_discards_corruption_on_every_protocol(self):
+        # End to end: every message to n1 arrives bit-flipped.  SMR envelopes
+        # and direct messages fail transport authentication, gossip shares
+        # fail the payload-digest check -- n1 delivers nothing, nobody else
+        # is affected, and no agreement invariant breaks.
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=43, nodes=16, monitor=monitor)
+        apply_plan(
+            cluster,
+            FaultPlan(links=(LinkFault(dst="n1", corrupt=1.0),)),
+            monitor=monitor,
+        )
+        bcast = {}
+        cluster.sim.schedule(0.5, lambda: bcast.setdefault("id", cluster.broadcast("n0", "x")))
+        cluster.run(until=30.0)
+        assert not cluster.nodes["n1"].has_delivered(bcast["id"])
+        others = [
+            node
+            for address, node in cluster.nodes.items()
+            if address not in ("n0", "n1")
+        ]
+        assert all(node.has_delivered(bcast["id"]) for node in others)
+        metrics = cluster.sim.metrics
+        assert metrics.counter("faults.messages_corrupted") > 0
+        assert (
+            metrics.counter("group.corrupted_shares_dropped")
+            + metrics.counter("net.corrupted_discarded")
+            > 0
+        )
+        monitor.finalize()
+        monitor.assert_clean()
+
+    def test_corrupt_links_scenario_stays_clean(self):
+        row = run_scenario(5, "broadcast/corrupt_links")
+        assert row["violations"] == 0
+        assert row["counters"]["faults.messages_corrupted"] > 0
+        assert row["counters"]["group.corrupted_shares_dropped"] > 0
+        assert row["delivery_bound_met"]
+
+
+# ------------------------------------------------ side-preserving partitions
+
+
+class TestSidePreservingPartitions:
+    def test_controller_forms_and_heals_split(self):
+        monitor = InvariantMonitor()
+        cluster = build_cluster(seed=45, nodes=12, monitor=monitor)
+        addresses = sorted(cluster.nodes)
+        side_a, side_b = tuple(addresses[:6]), tuple(addresses[6:])
+        plan = FaultPlan(
+            partitions=(Partition(sides=(side_a, side_b), start=1.0, heal_at=5.0),)
+        )
+        apply_plan(cluster, plan, monitor=monitor)
+        cluster.run(until=2.0)
+        assert cluster.network.crosses_split(side_a[0], side_b[0])
+        assert not cluster.network.crosses_split(side_a[0], side_a[1])
+        # per-node isolation is NOT in effect: both sides stay live
+        assert not cluster.network.is_partitioned(side_a[0])
+        cluster.run(until=6.0)
+        assert not cluster.network.crosses_split(side_a[0], side_b[0])
+        assert cluster.sim.metrics.counter("faults.partitions_formed") == 1
+        assert cluster.sim.metrics.counter("faults.partitions_healed") == 1
+
+    def test_sides_keep_running_their_own_smr(self):
+        # A broadcast from each side during the split reaches that side's
+        # correct nodes co-grouped with the origin -- the sides are live,
+        # which per-node isolation could never show.
+        cluster = build_cluster(seed=47, nodes=12)
+        addresses = sorted(cluster.nodes)
+        side_a, side_b = tuple(addresses[:6]), tuple(addresses[6:])
+        plan = FaultPlan(partitions=(Partition(sides=(side_a, side_b), start=0.0),))
+        apply_plan(cluster, plan)
+        ids = {}
+        cluster.sim.schedule(
+            0.5, lambda: ids.setdefault("a", cluster.broadcast(side_a[0], "from-a"))
+        )
+        cluster.sim.schedule(
+            0.5, lambda: ids.setdefault("b", cluster.broadcast(side_b[0], "from-b"))
+        )
+        cluster.run(until=20.0)
+        delivered_a = {a for a in cluster.delivery_times(ids["a"])}
+        delivered_b = {a for a in cluster.delivery_times(ids["b"])}
+        assert delivered_a and delivered_a <= set(side_a)
+        assert delivered_b and delivered_b <= set(side_b)
+
+    @pytest.mark.parametrize("name", ["broadcast/two_sided_split", "broadcast/two_sided_split_pbft"])
+    def test_split_scenarios_reconcile_to_full_delivery(self, name):
+        row = run_scenario(7, name)
+        assert row["violations"] == 0
+        assert row["mean_delivery_fraction"] == 1.0
+        assert row["delivery_bound_met"]
+        assert row["counters"]["ae.shares_resent"] > 0
 
 
 # ------------------------------------------------------ deterministic replay
@@ -507,10 +712,13 @@ class TestInvariantMonitorDetections:
         return {violation.kind for violation in monitor.violations}
 
     def test_forged_group_message_detected(self):
+        # Defence in depth: even with the messenger's forged-size rejection
+        # bypassed, the monitor must still flag the accepted forgery.
         monitor, cluster = self._monitored_cluster()
         group_ids = sorted(cluster.engine.groups)
         source, target = group_ids[0], group_ids[1]
         victim = cluster.engine.groups[target].members[0]
+        cluster.nodes[victim].messenger.source_size_fn = None
         payload = "not-a-real-decision"
         envelope = GroupMessageEnvelope(
             gm_id="forged-1",
@@ -526,6 +734,43 @@ class TestInvariantMonitorDetections:
         kinds = self._kinds(monitor)
         assert "forged_sender" in kinds
         assert "forged_majority" in kinds
+
+    def test_forged_size_rejected_by_messenger(self):
+        # The protocol-level defence: a lying minority's message is dropped
+        # at accept time (not merely flagged after acceptance).  The claimed
+        # size of 1 would have made a single Byzantine sender a "majority".
+        monitor, cluster = self._monitored_cluster()
+        group_ids = sorted(cluster.engine.groups)
+        source, target = group_ids[0], group_ids[1]
+        liar = cluster.engine.groups[source].members[0]
+        victim = cluster.engine.groups[target].members[0]
+        node = cluster.nodes[victim]
+        accepted = []
+        node.register_group_handler(
+            "custom", lambda payload, src, gm_id: accepted.append(payload)
+        )
+        payload = "minority-coup"
+        envelope = GroupMessageEnvelope(
+            gm_id="forged-2",
+            source_group=source,
+            source_epoch=0,
+            target_group=target,
+            kind="custom",
+            payload=payload,
+            digest=digest_object(payload),
+            sender_group_size=1,
+        )
+        node.messenger.handle(envelope, liar)
+        assert accepted == []  # dropped, no delivery to the upper layer
+        assert cluster.sim.metrics.counter("group.forged_size_rejected") >= 1
+        assert monitor.violations == []  # nothing was accepted to flag
+        # Once a real majority of the source group backs the same message,
+        # it goes through: the rejection is a threshold correction, not a
+        # liveness hazard.
+        required = len(cluster.engine.groups[source].members) // 2 + 1
+        for member in cluster.engine.groups[source].members[:required]:
+            node.messenger.handle(envelope, member)
+        assert accepted == [payload]
 
     def test_wrongful_eviction_detected(self):
         monitor, cluster = self._monitored_cluster()
@@ -633,6 +878,53 @@ class TestScenarioMatrix:
             "churn",
             "growth",
         }
+
+    def test_matrix_covers_async_engine_splits_and_corruption(self):
+        # The PR-4 additions: two-sided splits under both engines, a PBFT
+        # delay spike, and a corruption scenario — with the partition-heal
+        # bound lifted to the paper's full 1.0 by anti-entropy.
+        for name in (
+            "broadcast/two_sided_split",
+            "broadcast/two_sided_split_pbft",
+            "broadcast/delay_spike_pbft",
+            "broadcast/corrupt_links",
+        ):
+            assert name in SMALL_MATRIX
+        assert SCENARIOS["broadcast/two_sided_split_pbft"].smr == "async"
+        assert SCENARIOS["broadcast/delay_spike_pbft"].smr == "async"
+        assert SCENARIOS["broadcast/partition_heal"].antientropy
+        assert SCENARIOS["broadcast/partition_heal"].delivery_bound == 1.0
+
+    def test_nightly_matrix_scenarios_resolve(self, monkeypatch):
+        from repro.faults.scenarios import NIGHTLY_MATRIX, _resolve
+
+        assert len(NIGHTLY_MATRIX) >= 4
+        for name in NIGHTLY_MATRIX:
+            scenario = _resolve(name)
+            assert scenario.nodes >= 400  # deployment scale (800 at scale 2)
+            assert name not in SMALL_MATRIX
+            assert name not in SCENARIOS  # served at resolve time, not import
+        # ATUM_BENCH_SCALE is honoured when the run starts, not at import.
+        monkeypatch.setenv("ATUM_BENCH_SCALE", "2")
+        assert _resolve(NIGHTLY_MATRIX[0]).nodes == 800
+        # ...and a malformed value fails loudly instead of shrinking the run.
+        monkeypatch.setenv("ATUM_BENCH_SCALE", "2x")
+        with pytest.raises(ValueError, match="ATUM_BENCH_SCALE"):
+            _resolve(NIGHTLY_MATRIX[0])
+
+    def test_nightly_name_list_matches_builder(self):
+        from repro.faults.scenarios import NIGHTLY_MATRIX, _nightly_scenarios
+
+        assert sorted(_nightly_scenarios()) == sorted(NIGHTLY_MATRIX)
+
+    @pytest.mark.parametrize(
+        "name", ["broadcast/delay_spike_pbft"]
+    )
+    def test_async_engine_scenarios_run_clean(self, name):
+        row = run_scenario(3, name)
+        assert row["violations"] == 0
+        assert row["smr"] == "async"
+        assert row["delivery_bound_met"]
 
     @pytest.mark.parametrize(
         "name",

@@ -139,6 +139,83 @@ class TestDelivery:
         assert sim.metrics.counter("net.bytes_sent") == 100
 
 
+class TestSidePreservingSplits:
+    def _quad(self, seed=2, config=None):
+        sim, network = make_net(seed=seed, config=config)
+        actors = {name: Recorder(sim, name) for name in ("a", "b", "c", "d")}
+        for actor in actors.values():
+            network.register(actor)
+        return sim, network, actors
+
+    def test_split_blocks_cross_side_only(self):
+        sim, network, actors = self._quad()
+        network.split([("a", "b"), ("c", "d")])
+        network.send("a", "b", "same-side", 64)     # within side 0
+        network.send("c", "d", "same-side-2", 64)   # within side 1
+        network.send("a", "c", "cross", 64)         # across -> dropped
+        network.send("d", "b", "cross-2", 64)       # across -> dropped
+        sim.run_until_idle()
+        assert [p for _, p, _ in actors["b"].received] == ["same-side"]
+        assert [p for _, p, _ in actors["d"].received] == ["same-side-2"]
+        assert actors["c"].received == []
+        assert sim.metrics.counter("net.messages_partitioned") == 2
+
+    def test_unnamed_addresses_unaffected(self):
+        sim, network, actors = self._quad()
+        network.split([("a",), ("c",)])
+        network.send("a", "b", "to-unnamed", 64)
+        network.send("b", "c", "from-unnamed", 64)
+        sim.run_until_idle()
+        assert len(actors["b"].received) == 1
+        assert len(actors["c"].received) == 1
+
+    def test_merge_restores_connectivity(self):
+        sim, network, actors = self._quad()
+        split_id = network.split([("a", "b"), ("c", "d")])
+        network.send("a", "c", "lost", 64)
+        network.merge(split_id)
+        network.send("a", "c", "after-heal", 64)
+        sim.run_until_idle()
+        assert [p for _, p, _ in actors["c"].received] == ["after-heal"]
+
+    def test_split_respected_on_all_send_paths(self):
+        sim, network, actors = self._quad()
+        network.split([("a", "b"), ("c", "d")])
+        network.send("a", "c", "x", 64)
+        network.send_one("a", "c", "x", 64)
+        network.send_burst("a", [("c", "x", 64), ("d", "x", 64)])
+        network.send_fanout("a", ["c", "d"], "x", 64)
+        sim.run_until_idle()
+        assert actors["c"].received == [] and actors["d"].received == []
+        assert sim.metrics.counter("net.messages_partitioned") == 6
+
+    def test_inflight_message_dropped_when_split_forms(self):
+        sim, network, actors = self._quad()
+        network.send("a", "c", "in-flight", 64)  # scheduled before the split
+        network.split([("a", "b"), ("c", "d")])
+        sim.run_until_idle()
+        assert actors["c"].received == []
+
+    def test_overlapping_splits_compose(self):
+        sim, network, actors = self._quad()
+        first = network.split([("a",), ("c",)])
+        network.split([("a",), ("d",)])
+        network.merge(first)
+        network.send("a", "c", "now-ok", 64)   # first split merged
+        network.send("a", "d", "blocked", 64)  # second still active
+        sim.run_until_idle()
+        assert len(actors["c"].received) == 1
+        assert actors["d"].received == []
+
+    def test_crosses_split_is_symmetric_free_of_state(self):
+        sim, network, _ = self._quad()
+        network.split([("a", "b"), ("c", "d")])
+        assert network.crosses_split("a", "c")
+        assert network.crosses_split("c", "a")
+        assert not network.crosses_split("a", "b")
+        assert not network.crosses_split("a", "unknown")
+
+
 class TestLatencyModels:
     def test_fixed(self):
         rng = random.Random(0)
