@@ -39,6 +39,10 @@ class AtumParameters:
         heartbeat_period: Heartbeat interval (coarse, one minute by default).
         expected_system_size: The administrator's estimate of N (need not be
             exact; a conservative value trades efficiency for robustness).
+        checkpoint_interval: Decided operations between PBFT checkpoints
+            (:mod:`repro.smr.checkpoint`); ``0`` (the default) disables
+            checkpointing and state transfer, keeping legacy deployments
+            byte-identical.  Only meaningful with the Async engine.
     """
 
     hc: int = 5
@@ -51,6 +55,7 @@ class AtumParameters:
     request_timeout: float = 2.0
     heartbeat_period: float = 60.0
     expected_system_size: int = 800
+    checkpoint_interval: int = 0
 
     def __post_init__(self) -> None:
         if self.gmin > self.gmax:
@@ -155,6 +160,7 @@ class AtumParameters:
         return SmrConfig(
             round_duration=self.round_duration,
             request_timeout=self.request_timeout,
+            checkpoint_interval=self.checkpoint_interval,
         )
 
     def cost_model(self, network_latency: float = 0.001) -> GroupCostModel:

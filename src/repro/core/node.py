@@ -101,10 +101,13 @@ class AtumNode(Actor):
             ``"evict_attack"`` for the paper's §6.1.3 synchronous adversary
             (heartbeats only, plus eviction proposals against correct peers —
             the proposals themselves are driven by
-            :class:`repro.faults.behaviours.FaultController`), or
+            :class:`repro.faults.behaviours.FaultController`),
             ``"equivocate"`` for a node that participates in gossip but sends
             conflicting payload variants of every forwarded group message to
-            disjoint halves of the destination vgroup.
+            disjoint halves of the destination vgroup, or ``"rejoin_attack"``
+            for a member of the adaptive join-leave coalition (silent on the
+            protocol; its strategic leave/re-join schedule is driven by the
+            fault controller).
     """
 
     def __init__(
@@ -188,6 +191,33 @@ class AtumNode(Actor):
 
     def delivery_time(self, bcast_id: str) -> Optional[float]:
         return self.delivered.get(bcast_id)
+
+    def smr_stable_checkpoint(self) -> Optional[int]:
+        """Stable-checkpoint seq of this node's replica (``None`` if unavailable).
+
+        Anti-entropy summaries advertise it to vgroup co-members: a stalled
+        replica that hears a co-member's certified checkpoint ahead of its
+        own decided log discovers the gap without waiting for a view change
+        (see :meth:`on_checkpoint_hint`).
+        """
+        if self.replica is None:
+            return None
+        return self.replica.stable_checkpoint_seq()
+
+    def on_checkpoint_hint(self, peer: str, seq: int) -> None:
+        """A vgroup co-member advertised a stable checkpoint at ``seq``.
+
+        Forwarded to the replica's checkpoint manager, which rate-limits
+        and — since a bare seq proves nothing — requests a state transfer
+        whose *response* carries the verifiable certificate.  Ignored for
+        engines without checkpointing and for hints from non-co-members.
+        """
+        if self.replica is None or self.vgroup_view is None or not self.is_correct:
+            return
+        manager = getattr(self.replica, "checkpoints", None)
+        if manager is None or peer not in self.vgroup_view.member_set:
+            return
+        manager.on_gap_hint(peer, seq)
 
     # --------------------------------------------------------------- membership
 
@@ -312,7 +342,7 @@ class AtumNode(Actor):
             if isinstance(inner, GroupMessageEnvelope):
                 # Group-message shares are self-verifying: the messenger runs
                 # the payload-digest check and discards the tampered share.
-                if self.byzantine != "silent" and self.byzantine != "evict_attack":
+                if self.byzantine not in ("silent", "evict_attack", "rejoin_attack"):
                     self.messenger.handle_corrupted(inner, sender)
                 return
             # Everything else (heartbeats, SMR, direct messages) is MACed on
@@ -324,11 +354,13 @@ class AtumNode(Actor):
             if self.heartbeats is not None:
                 self.heartbeats.observe(payload)
             return
-        if self.byzantine == "silent" or self.byzantine == "evict_attack":
+        if self.byzantine in ("silent", "evict_attack", "rejoin_attack"):
             # A silent Byzantine node keeps sending heartbeats (handled by its
             # monitor) but ignores every other protocol message.  The
-            # evict-attack adversary behaves the same on the receive path; its
-            # eviction proposals are timer-driven.
+            # evict-attack and rejoin-attack adversaries behave the same on
+            # the receive path; their eviction proposals / strategic
+            # leave-and-re-join schedules are timer-driven by the fault
+            # controller.
             return
         if isinstance(payload, SmrEnvelope):
             if self.replica is not None and self.vgroup_view is not None:

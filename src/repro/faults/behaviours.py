@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 
 from repro.faults.injector import LinkFaultInjector
 from repro.faults.plan import FaultPlan, NodeFault
+from repro.overlay.membership import MembershipError
 
 
 class FaultController:
@@ -47,8 +48,13 @@ class FaultController:
         self._active_faults: Dict[str, List[NodeFault]] = {}
         # Attack timers self-reschedule until their fault's stop time even
         # while the behaviour is temporarily displaced, so each evict_attack
-        # fault gets exactly one timer chain.
+        # or rejoin_attack fault gets exactly one timer chain.
         self._attacks_started: set = set()
+        # The join-leave coalition: every rejoin_attack address of the plan
+        # (computed once; the attack coordinates across the whole coalition).
+        self._rejoin_coalition: List[str] = sorted(
+            {nf.address for nf in plan.nodes if nf.behaviour == "rejoin_attack"}
+        )
 
     def install(self) -> "FaultController":
         """Schedule every fault of the plan; idempotent, returns ``self``."""
@@ -178,6 +184,9 @@ class FaultController:
         if behaviour == "evict_attack" and node_fault not in self._attacks_started:
             self._attacks_started.add(node_fault)
             self._schedule_attack(node_fault)
+        if behaviour == "rejoin_attack" and node_fault not in self._attacks_started:
+            self._attacks_started.add(node_fault)
+            self._schedule_rejoin(node_fault)
 
     # --------------------------------------------------------- eviction attack
 
@@ -219,6 +228,114 @@ class FaultController:
                 cluster.sim.metrics.increment("faults.evictions_proposed_by_byzantine")
                 cluster.request_eviction(victim, suspected_by=attacker.address)
         self._schedule_attack(node_fault)
+
+    # -------------------------------------------------------- join-leave attack
+
+    def _schedule_rejoin(self, node_fault: NodeFault) -> None:
+        self.cluster.sim.schedule(
+            node_fault.attack_period,
+            lambda: self._rejoin_tick(node_fault),
+            tag="faults.rejoin_attack",
+        )
+
+    def _coalition_placement(self) -> Dict[str, int]:
+        """Coalition members per current vgroup (groups with none omitted)."""
+        placement: Dict[str, int] = {}
+        node_group = self.cluster.engine.node_group
+        for address in self._rejoin_coalition:
+            group_id = node_group.get(address)
+            if group_id is not None:
+                placement[group_id] = placement.get(group_id, 0) + 1
+        return placement
+
+    def _observe_concentration(self) -> None:
+        """Record the worst per-vgroup coalition concentration right now.
+
+        Two histograms, both over the per-tick worst vgroup:
+
+        * ``faults.rejoin_group_fraction`` — coalition members / group size
+          (reporting);
+        * ``faults.rejoin_threshold_excess`` — coalition members minus the
+          group's eviction/agreement threshold ``(size - 1) // 2`` (the
+          strict-minority bound every defence rests on).  The attack *fails*
+          as long as the maximum stays ≤ 0: the coalition never outgrew a
+          strict minority of any vgroup, so group-message majorities, SMR
+          quorums and eviction votes all hold.
+        """
+        groups = self.cluster.engine.groups
+        placement = self._coalition_placement()
+        worst_fraction = 0.0
+        worst_excess = -float(
+            max((view.size for view in groups.values()), default=1)
+        )
+        for group_id, count in placement.items():
+            view = groups.get(group_id)
+            if view is not None and view.size > 0:
+                worst_fraction = max(worst_fraction, count / view.size)
+                worst_excess = max(worst_excess, count - (view.size - 1) // 2)
+        metrics = self.cluster.sim.metrics
+        metrics.observe("faults.rejoin_group_fraction", worst_fraction)
+        metrics.observe("faults.rejoin_threshold_excess", worst_excess)
+
+    def _rejoin_tick(self, node_fault: NodeFault) -> None:
+        """One strategic move of the §3.2 join-leave adversary.
+
+        The coalition's strategy: pick the vgroup already holding the most
+        coalition members as the *target* and funnel everyone else towards
+        it by leaving and re-joining (a re-join is placed by a fresh random
+        walk — exactly the die the attacker keeps re-rolling).  Misplaced
+        members move concurrently — the most aggressive schedule — but
+        each waits out its own in-flight membership operation, so a member
+        churns at most one operation per completed move rather than one
+        per tick, keeping the run a placement-quality measurement instead
+        of an engine-backlog storm.
+        """
+        cluster = self.cluster
+        now = cluster.sim.now
+        if node_fault.stop is not None and now >= node_fault.stop:
+            return
+        self._schedule_rejoin(node_fault)
+        node = cluster.nodes.get(node_fault.address)
+        if node is None or node.byzantine != "rejoin_attack":
+            return  # temporarily displaced by another fault; timer keeps running
+        coalition = self._rejoin_coalition
+        if node_fault.address == coalition[0]:
+            # One designated observer per tick round records concentration.
+            self._observe_concentration()
+        address = node_fault.address
+        engine = cluster.engine
+        if engine.has_pending_operation(address):
+            return  # a leave or re-join of this attacker is still running
+        if address not in engine.node_group:
+            # Out of the system (left last move, or the join aborted against
+            # a busy contact vgroup): re-join through the ordinary protocol —
+            # placement is the engine's random walk, which is the whole
+            # point of the attack — and retry every tick until it lands.
+            try:
+                cluster.join(address)
+                cluster.sim.metrics.increment("faults.rejoin_joins")
+            except MembershipError:
+                pass
+            return
+        placement = self._coalition_placement()
+        if not placement:
+            return
+        # The rally point: the vgroup already holding the most coalition
+        # members (ties break deterministically), even from an all-equal
+        # start — consolidating on *some* group is the whole attack, and
+        # each re-join re-rolls the random-walk die hoping to land there.
+        target = min(
+            group_id
+            for group_id, count in placement.items()
+            if count == max(placement.values())
+        )
+        if engine.node_group[address] == target:
+            return
+        try:
+            cluster.leave(address)
+            cluster.sim.metrics.increment("faults.rejoin_leaves")
+        except MembershipError:
+            pass
 
     # ----------------------------------------------------------------- helpers
 

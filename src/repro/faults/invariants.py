@@ -277,7 +277,9 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------- SMR checks
 
-    def check_smr_prefix_consistency(self, cluster=None) -> None:
+    def check_smr_prefix_consistency(
+        self, cluster=None, require_equality: bool = False
+    ) -> None:
         """Assert per-vgroup SMR decided logs are prefix-consistent.
 
         Sound for the asynchronous (PBFT) engine under static membership:
@@ -288,11 +290,22 @@ class InvariantMonitor:
         instances independently at round boundaries and offers no such
         total-order guarantee under message loss — do not run this check
         against Sync scenarios with drops.
+
+        With ``require_equality`` the check demands eventual per-vgroup log
+        **equality**: a quiesced scenario must leave every correct member of
+        a vgroup with the *same* decided log, not merely a consistent
+        prefix.  That is only achievable — and only demanded — when the
+        liveness-restoring recovery machinery is on: PBFT checkpointing and
+        state transfer (:mod:`repro.smr.checkpoint`), which lets an isolated
+        then healed replica close its log gap even with no pending requests
+        in the system.
         """
         cluster = cluster if cluster is not None else self._cluster
         for group_id, logs in sorted(cluster_smr_logs(cluster).items()):
             self.checks_run += 1
-            for mismatch in check_agreement_logs(logs):
+            for mismatch in check_agreement_logs(
+                logs, require_equality=require_equality
+            ):
                 self._violation("smr_divergence", group_id, mismatch)
 
     # ---------------------------------------------------------------- results
@@ -381,26 +394,41 @@ def cluster_smr_logs(cluster) -> Dict[str, List[List[str]]]:
     return logs
 
 
-def check_agreement_logs(logs: Sequence[Sequence[str]]) -> List[str]:
-    """Prefix-consistency of per-replica decided-operation logs.
+def check_agreement_logs(
+    logs: Sequence[Sequence[str]], require_equality: bool = False
+) -> List[str]:
+    """Prefix-consistency (optionally equality) of per-replica decided logs.
 
     The harness-level agreement invariant: any two correct replicas of one
     SMR group must have decided the same operations in the same order up to
     the length of the shorter log (a lagging replica is fine, a *diverging*
     one is a safety violation).  Returns human-readable mismatch
     descriptions (empty = consistent).
+
+    ``require_equality`` upgrades the check from safety to liveness: any
+    length difference is a violation too.  Use it only for quiesced runs of
+    scenarios whose recovery machinery (PBFT checkpointing + state
+    transfer) promises to close log gaps, never for mid-run snapshots where
+    lag is legitimate in-flight state.
     """
     mismatches: List[str] = []
     for left_index in range(len(logs)):
         for right_index in range(left_index + 1, len(logs)):
             left, right = logs[left_index], logs[right_index]
+            diverged = False
             for position in range(min(len(left), len(right))):
                 if left[position] != right[position]:
                     mismatches.append(
                         f"replicas {left_index} and {right_index} diverge at decision "
                         f"{position}: {left[position]!r} != {right[position]!r}"
                     )
+                    diverged = True
                     break
+            if require_equality and not diverged and len(left) != len(right):
+                mismatches.append(
+                    f"replicas {left_index} and {right_index} settled at different "
+                    f"log lengths with equality required: {len(left)} != {len(right)}"
+                )
     return mismatches
 
 

@@ -42,7 +42,13 @@ from typing import FrozenSet, Optional, Tuple
 #: * ``"equivocate"`` — participates in gossip but sends conflicting payload
 #:   variants of each forwarded group message to disjoint halves of the
 #:   destination vgroup.
-NODE_BEHAVIOURS = ("crash", "silent", "mute", "evict_attack", "equivocate")
+#: * ``"rejoin_attack"`` — the paper's adaptive join-leave adversary: the
+#:   coalition strategically leaves and re-joins trying to concentrate its
+#:   members in one vgroup (random-walk placement is what defeats it).
+#:   Protocol-wise the node behaves like ``"silent"`` (heartbeats only);
+#:   the leave/re-join schedule is driven by
+#:   :class:`repro.faults.behaviours.FaultController` at ``attack_period``.
+NODE_BEHAVIOURS = ("crash", "silent", "mute", "evict_attack", "equivocate", "rejoin_attack")
 
 
 @dataclass(frozen=True)
@@ -174,7 +180,8 @@ class NodeFault:
             (``None`` = never; for ``"crash"`` a ``stop`` makes it
             crash-recover).
         attack_period: Interval between eviction proposals for
-            ``"evict_attack"``.
+            ``"evict_attack"``, and between strategic leave/re-join moves
+            for ``"rejoin_attack"``.
     """
 
     address: str

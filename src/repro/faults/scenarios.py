@@ -31,7 +31,7 @@ import math
 import os
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.robustness import scenario_robustness_row
 from repro.core.cluster import AtumCluster
@@ -71,6 +71,22 @@ class Scenario:
         antientropy: Equip every node with the digest-exchange repair layer
             (:mod:`repro.group.antientropy`); required by the 1.0 delivery
             bounds of the partition scenarios.
+        checkpoint_interval: PBFT checkpoint interval
+            (:mod:`repro.smr.checkpoint`); ``0`` disables checkpointing.
+            Checkpoint-enabled async broadcast scenarios are held to
+            per-vgroup log **equality** (not just prefix consistency) at
+            quiescence — the liveness bound state transfer restores.
+        attack_threshold: For join-leave attack scenarios: the maximum
+            per-vgroup *threshold excess* (coalition members minus the
+            group's ``(size - 1) // 2`` strict-minority bound) the attack
+            is allowed to reach; ``0`` means the coalition must never
+            outgrow the eviction/agreement threshold of any vgroup.
+            Folded into the bound check; ``None`` skips it.
+        gmin / gmax: Vgroup size bounds (matrix defaults 3/6).  The
+            join-leave scenario overrides them to the paper's regime —
+            larger vgroups — because the strict-minority bound is
+            *supposed* to fail with high probability when vgroups are far
+            below ``k * log2(N)``.
     """
 
     name: str
@@ -89,12 +105,20 @@ class Scenario:
     delivery_bound: float = 1.0
     smr: str = "sync"
     antientropy: bool = False
+    checkpoint_interval: int = 0
+    attack_threshold: Optional[float] = None
+    gmin: int = 3
+    gmax: int = 6
 
     def __post_init__(self) -> None:
         if self.smr not in ("sync", "async"):
             raise ValueError(
                 f"unknown smr engine {self.smr!r}; expected 'sync' or 'async'"
             )
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+        if self.checkpoint_interval and self.smr != "async":
+            raise ValueError("checkpointing requires the async (PBFT) engine")
 
 
 # --------------------------------------------------------------------- plans
@@ -213,6 +237,58 @@ def _plan_evict_attack(
     )
 
 
+def _plan_rejoin_attack(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """The adaptive join-leave coalition (ROADMAP's churn attack).
+
+    The coalition starts spread out — one member per vgroup, in random
+    vgroup order, until ``fault_fraction`` of the system is marked (capped
+    at each group's strict minority) — and then strategically leaves and
+    re-joins trying to pile up in one vgroup.  Random-walk placement plus
+    post-operation shuffling is what must keep every vgroup's coalition
+    at or below its eviction/agreement threshold.
+    """
+    # The attack stops well before the workload settles: the point is to
+    # measure placement quality under strategic churn, and churning through
+    # the final quiescence phase would leave merge/split transients mid-
+    # flight at finalize (flagged as size-bound violations by the monitor).
+    attack_stop = max(10.0, scenario.broadcasts * scenario.interval + scenario.settle_time - 20.0)
+    total = max(2, int(math.floor(scenario.fault_fraction * len(cluster.engine.node_group))))
+    views = sorted(cluster.engine.groups.values(), key=lambda view: view.group_id)
+    rng.shuffle(views)
+    quotas: Dict[str, int] = {}
+    chosen: List[str] = []
+    while len(chosen) < total:
+        progressed = False
+        for view in views:
+            if len(chosen) >= total:
+                break
+            taken = quotas.get(view.group_id, 0)
+            if taken >= max(1, (view.size - 1) // 2):
+                continue
+            candidates = [m for m in view.members if m not in chosen]
+            if not candidates:
+                continue
+            chosen.append(rng.choice(sorted(candidates)))
+            quotas[view.group_id] = taken + 1
+            progressed = True
+        if not progressed:
+            break
+    return FaultPlan(
+        nodes=tuple(
+            NodeFault(
+                address=address,
+                behaviour="rejoin_attack",
+                start=0.0,
+                stop=attack_stop,
+                attack_period=2.0,
+            )
+            for address in sorted(chosen)
+        )
+    )
+
+
 def _plan_crash_recover(
     scenario: Scenario, cluster: AtumCluster, rng: random.Random
 ) -> FaultPlan:
@@ -249,6 +325,7 @@ PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultP
     "silent_minority": _plan_silent_minority,
     "equivocators": _plan_equivocators,
     "evict_attack": _plan_evict_attack,
+    "rejoin_attack": _plan_rejoin_attack,
     "crash_recover": _plan_crash_recover,
     "kitchen_sink": _plan_kitchen_sink,
 }
@@ -294,6 +371,48 @@ def _default_scenarios() -> Dict[str, Scenario]:
             delivery_bound=1.0,
             antientropy=True,
             smr="async",
+            settle_time=40.0,
+        ),
+        # Checkpoint-enabled PBFT rows are the liveness tier: on top of the
+        # 1.0 delivery bound they demand per-vgroup log *equality* at
+        # quiescence — an isolated-then-healed replica with no pending
+        # requests must close its log gap through checkpoint announces +
+        # state transfer (repro.smr.checkpoint), not merely stay safe.
+        Scenario(
+            name="broadcast/isolated_catchup_pbft",
+            workload="broadcast",
+            plan="partition_heal",
+            fault_fraction=0.15,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=50.0,
+        ),
+        Scenario(
+            name="broadcast/split_stall_pbft",
+            workload="broadcast",
+            plan="two_sided_split",
+            fault_fraction=0.5,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=50.0,
+        ),
+        # Sustained load with a short interval: checkpoints form and
+        # garbage-collect the protocol log continuously while the equality
+        # bound still holds — GC must never eat operations a replica needs.
+        Scenario(
+            name="broadcast/checkpoint_gc_pbft",
+            workload="broadcast",
+            plan="none",
+            broadcasts=16,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=3,
             settle_time=40.0,
         ),
         Scenario(
@@ -354,7 +473,47 @@ def _default_scenarios() -> Dict[str, Scenario]:
             fault_fraction=0.25,
             delivery_bound=0.25,
         ),
+        # The ROADMAP's join-leave attack: an adaptive coalition churns
+        # itself trying to concentrate in one vgroup.  Run in the paper's
+        # regime — vgroups near k*log2(N), a ~10% adversary — where
+        # random-walk placement + shuffling must keep every vgroup's
+        # coalition at or below its eviction/agreement threshold
+        # (attack_threshold = maximum allowed excess over (g-1)//2; 0 means
+        # the coalition never outgrows a strict minority anywhere).  With
+        # the matrix's toy 3..6-member vgroups this bound *should* fail —
+        # that is the analytical vgroup-failure probability, not a bug —
+        # which is why this row overrides gmin/gmax.
+        Scenario(
+            name="broadcast/rejoin_attack",
+            workload="broadcast",
+            plan="rejoin_attack",
+            nodes=50,
+            fault_fraction=0.08,
+            gmin=6,
+            gmax=12,
+            settle_time=120.0,
+            delivery_bound=0.8,
+            antientropy=True,
+            attack_threshold=0.0,
+        ),
         Scenario(name="churn/none", workload="churn", plan="none", nodes=40),
+        # Anti-entropy racing continuous churn: repair runs while vgroups
+        # split, merge and shuffle under it, with broadcasts interleaved so
+        # there is state to repair (joiners start with empty delivery
+        # state).  The AE store must stay bounded by the settled-broadcast
+        # GC + summary window while the monitor stays clean.
+        Scenario(
+            name="churn/antientropy",
+            workload="churn_broadcast",
+            plan="none",
+            nodes=40,
+            antientropy=True,
+            churn_rate=10.0,
+            churn_duration=60.0,
+            broadcasts=8,
+            settle_time=30.0,
+            delivery_bound=0.9,
+        ),
         # Heartbeats are on so the crash actually bites: crashed nodes stop
         # heartbeating, get suspected and evicted (engine-level churn alone
         # never consults node actors), and the recovered nodes must stay out
@@ -452,6 +611,39 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
             broadcasts=8,
             settle_time=60.0,
         ),
+        # Deployment-scale checkpoint catch-up: isolated replicas must reach
+        # log *equality* (not just delivery) after the heal, via checkpoint
+        # announces + state transfer.
+        Scenario(
+            name="nightly/checkpoint_catchup",
+            workload="broadcast",
+            plan="partition_heal",
+            nodes=nodes,
+            fault_fraction=0.15,
+            broadcasts=8,
+            settle_time=80.0,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+        ),
+        # Deployment-scale join-leave attack: the coalition must never
+        # outgrow any vgroup's strict minority despite hundreds of
+        # strategic re-join attempts.
+        Scenario(
+            name="nightly/rejoin_attack",
+            workload="broadcast",
+            plan="rejoin_attack",
+            nodes=nodes,
+            fault_fraction=0.05,
+            gmin=6,
+            gmax=12,
+            broadcasts=8,
+            settle_time=80.0,
+            delivery_bound=0.8,
+            antientropy=True,
+            attack_threshold=0.0,
+        ),
     ]
     return {scenario.name: scenario for scenario in entries}
 
@@ -464,7 +656,9 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
 #: importing this module never consults the environment (a malformed
 #: ``ATUM_BENCH_SCALE`` should fail the *run*, not the import).
 NIGHTLY_MATRIX: List[str] = [
+    "nightly/checkpoint_catchup",
     "nightly/partition_heal",
+    "nightly/rejoin_attack",
     "nightly/silent_minority",
     "nightly/two_sided_split",
     "nightly/two_sided_split_pbft",
@@ -472,9 +666,12 @@ NIGHTLY_MATRIX: List[str] = [
 
 
 def _correct_origin_fractions(
-    cluster: AtumCluster, workload: BroadcastWorkload, faulted: frozenset
+    cluster: AtumCluster,
+    records: Sequence[Tuple[str, str]],
+    faulted: frozenset,
 ) -> List[float]:
-    """Delivery fractions of broadcasts whose origin stayed correct.
+    """Delivery fractions of the ``(bcast_id, origin)`` records whose origin
+    stayed correct.
 
     The paper's delivery bound covers broadcasts *by correct nodes*; a
     broadcast originated by a node the plan later silenced, crashed or
@@ -483,14 +680,23 @@ def _correct_origin_fractions(
     counters, just not in the bound check.
     """
     fractions: List[float] = []
-    for bcast_id, _started_at in workload.broadcasts:
-        # bcast ids are "bc-<address>-<counter>" (addresses may contain dashes).
-        origin = bcast_id[3 : bcast_id.rfind("-")]
+    for bcast_id, origin in records:
         node = cluster.nodes.get(origin)
         if origin in faulted or (node is not None and not node.is_correct):
             continue
         fractions.append(cluster.delivery_fraction(bcast_id))
     return fractions
+
+
+def _workload_broadcast_records(workload: BroadcastWorkload) -> List[Tuple[str, str]]:
+    """(bcast_id, origin) pairs of a broadcast workload's emissions.
+
+    bcast ids are ``bc-<address>-<counter>`` (addresses may contain dashes).
+    """
+    return [
+        (bcast_id, bcast_id[3 : bcast_id.rfind("-")])
+        for bcast_id, _started_at in workload.broadcasts
+    ]
 
 
 def _resolve(scenario: "str | Scenario") -> Scenario:
@@ -520,11 +726,12 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
     params = AtumParameters(
         hc=3,
         rwl=5,
-        gmax=6,
-        gmin=3,
+        gmax=scenario.gmax,
+        gmin=scenario.gmin,
         round_duration=0.5,
         heartbeat_period=scenario.heartbeat_period,
         smr_kind=SmrKind.ASYNC if scenario.smr == "async" else SmrKind.SYNC,
+        checkpoint_interval=scenario.checkpoint_interval,
     )
     cluster = AtumCluster(
         params,
@@ -544,6 +751,9 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
     mean_delivery_fraction: Optional[float] = None
     min_delivery_fraction: Optional[float] = None
     completion_ratio: Optional[float] = None
+    # (bcast_id, origin) pairs of whichever workload emitted broadcasts;
+    # aggregated into the delivery-bound fractions after the workload runs.
+    broadcast_records: List[Tuple[str, str]] = []
 
     if scenario.workload == "broadcast":
         workload = BroadcastWorkload(
@@ -555,12 +765,7 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
             ),
         )
         workload.run()
-        fractions = _correct_origin_fractions(
-            cluster, workload, plan.unavailable_addresses()
-        )
-        if fractions:
-            mean_delivery_fraction = sum(fractions) / len(fractions)
-            min_delivery_fraction = min(fractions)
+        broadcast_records = _workload_broadcast_records(workload)
     elif scenario.workload == "churn":
         churn = ChurnWorkload(
             cluster.engine,
@@ -571,6 +776,34 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
             join_fn=cluster.join,
         )
         completion_ratio = churn.run().completion_ratio
+    elif scenario.workload == "churn_broadcast":
+        # Anti-entropy under churn: broadcasts interleave with continuous
+        # membership churn, so repair races vgroup splits/merges and must
+        # also serve joiners that start with empty delivery state.
+        churn_config = ChurnConfig(
+            rate_per_minute=scenario.churn_rate, duration=scenario.churn_duration
+        )
+        churn = ChurnWorkload(cluster.engine, churn_config, join_fn=cluster.join)
+        broadcast_records = []
+
+        def fire_broadcast(index: int) -> None:
+            members = cluster.correct_member_addresses()
+            if members:
+                origin = members[index % len(members)]
+                broadcast_records.append(
+                    (cluster.broadcast(origin, {"churn-bcast": index}), origin)
+                )
+
+        horizon = churn_config.warmup + churn_config.duration
+        spacing = horizon / (scenario.broadcasts + 1)
+        for index in range(scenario.broadcasts):
+            cluster.sim.schedule(
+                spacing * (index + 1),
+                lambda i=index: fire_broadcast(i),
+                tag="churn-bcast",
+            )
+        completion_ratio = churn.run().completion_ratio
+        cluster.run_for(scenario.settle_time)
     elif scenario.workload == "growth":
         growth = GrowthWorkload(
             cluster.engine,
@@ -586,17 +819,29 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
     else:
         raise ValueError(f"unknown workload {scenario.workload!r}")
 
+    if broadcast_records:
+        fractions = _correct_origin_fractions(
+            cluster, broadcast_records, plan.unavailable_addresses()
+        )
+        if fractions:
+            mean_delivery_fraction = sum(fractions) / len(fractions)
+            min_delivery_fraction = min(fractions)
+
     cluster.run_until_membership_quiescent(max_time=120.0)
     if scenario.workload == "broadcast" and scenario.smr == "async":
         # PBFT executes in gap-free sequence order and its view changes
         # carry prepared operations, so per-vgroup decided logs must be
-        # prefix-consistent across partitions, splits and heals.
-        monitor.check_smr_prefix_consistency(cluster)
+        # prefix-consistent across partitions, splits and heals.  With
+        # checkpointing enabled the bar rises to eventual log *equality*:
+        # state transfer must have closed every replica's gap by quiescence.
+        monitor.check_smr_prefix_consistency(
+            cluster, require_equality=scenario.checkpoint_interval > 0
+        )
     monitor.finalize()
     summary = monitor.summary()
     metrics = cluster.sim.metrics
 
-    if scenario.workload == "broadcast":
+    if scenario.workload in ("broadcast", "churn_broadcast"):
         # A broadcast scenario that measured no correct-origin broadcast has
         # not demonstrated its bound — never report it as vacuously met.
         delivery_bound_met = (
@@ -606,12 +851,33 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
     else:
         delivery_bound_met = True
 
+    rejoin_hist = metrics.histogram("faults.rejoin_group_fraction")
+    rejoin_max_fraction = rejoin_hist.maximum if rejoin_hist.count else None
+    excess_hist = metrics.histogram("faults.rejoin_threshold_excess")
+    rejoin_max_excess = excess_hist.maximum if excess_hist.count else None
+    attack_bound_met: Optional[bool] = None
+    if scenario.attack_threshold is not None:
+        # The join-leave coalition must never outgrow the strict-minority
+        # eviction/agreement threshold of any vgroup by more than the
+        # allowed excess; a vacuous run (no concentration samples) has not
+        # demonstrated the bound.
+        attack_bound_met = (
+            rejoin_max_excess is not None
+            and rejoin_max_excess <= scenario.attack_threshold
+        )
+        delivery_bound_met = delivery_bound_met and attack_bound_met
+
     return {
         "scenario": scenario.name,
         "workload": scenario.workload,
         "plan": scenario.plan,
         "smr": scenario.smr,
         "antientropy": scenario.antientropy,
+        "checkpoint_interval": scenario.checkpoint_interval,
+        "attack_threshold": scenario.attack_threshold,
+        "attack_bound_met": attack_bound_met,
+        "rejoin_max_group_fraction": rejoin_max_fraction,
+        "rejoin_max_threshold_excess": rejoin_max_excess,
         "seed": seed,
         "system_size": cluster.engine.system_size,
         "group_count": cluster.engine.group_count,
@@ -645,7 +911,22 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
             "ae.summaries_sent": metrics.counter("ae.summaries_sent"),
             "ae.shares_resent": metrics.counter("ae.shares_resent"),
             "ae.reproposals": metrics.counter("ae.reproposals"),
+            "ae.store_gc_dropped": metrics.counter("ae.store_gc_dropped"),
             "smr.pbft.view_changes": metrics.counter("smr.pbft.view_changes"),
+            "smr.checkpoint.stable": metrics.counter("smr.checkpoint.stable"),
+            "smr.checkpoint.slots_gc": metrics.counter("smr.checkpoint.slots_gc"),
+            "smr.checkpoint.transfers_completed": metrics.counter(
+                "smr.checkpoint.transfers_completed"
+            ),
+            "smr.checkpoint.ops_installed": metrics.counter(
+                "smr.checkpoint.ops_installed"
+            ),
+            "smr.checkpoint.tail_view_changes": metrics.counter(
+                "smr.checkpoint.tail_view_changes"
+            ),
+            "smr.checkpoint.rejected": metrics.counter("smr.checkpoint.rejected"),
+            "faults.rejoin_joins": metrics.counter("faults.rejoin_joins"),
+            "faults.rejoin_leaves": metrics.counter("faults.rejoin_leaves"),
             "membership.joins_completed": metrics.counter("membership.joins_completed"),
             "membership.leaves_completed": metrics.counter("membership.leaves_completed"),
             "membership.evictions_started": metrics.counter("membership.evictions_started"),
@@ -669,6 +950,10 @@ def scenario_shard(seed: int, name: str) -> Dict[str, Any]:
         histograms["scenario.delivery_fraction"] = [row["mean_delivery_fraction"]]
     if row["completion_ratio"] is not None:
         histograms["scenario.completion_ratio"] = [row["completion_ratio"]]
+    if row["rejoin_max_group_fraction"] is not None:
+        histograms["scenario.rejoin_max_fraction"] = [row["rejoin_max_group_fraction"]]
+    if row["rejoin_max_threshold_excess"] is not None:
+        histograms["scenario.rejoin_max_excess"] = [row["rejoin_max_threshold_excess"]]
     return {"counters": counters, "histograms": histograms}
 
 
@@ -714,11 +999,15 @@ def run_matrix(
         runs = counters.get("scenario.runs", 0.0) or 1.0
         fraction_hist = merged["histograms"].get("scenario.delivery_fraction")
         completion_hist = merged["histograms"].get("scenario.completion_ratio")
+        rejoin_hist = merged["histograms"].get("scenario.rejoin_max_fraction")
+        rejoin_excess_hist = merged["histograms"].get("scenario.rejoin_max_excess")
         theory = scenario_robustness_row(
             system_size=scenario.growth_target
             if scenario.workload == "growth"
             else scenario.nodes,
-            average_group_size=4.5,  # midpoint of the matrix's gmin=3 / gmax=6
+            # Midpoint of the scenario's group-size bounds — the theory
+            # column must describe the regime the row actually ran in.
+            average_group_size=(scenario.gmin + scenario.gmax) / 2,
             # Network-only plans leave every node live and correct, so the
             # binomial per-node failure model gets p=0: a side-preserving
             # split degrades links, not nodes (its members stay live and
@@ -745,6 +1034,12 @@ def run_matrix(
                 "plan": scenario.plan,
                 "smr": scenario.smr,
                 "antientropy": scenario.antientropy,
+                "checkpoint_interval": scenario.checkpoint_interval,
+                "attack_threshold": scenario.attack_threshold,
+                "rejoin_max_group_fraction": rejoin_hist.maximum if rejoin_hist else None,
+                "rejoin_max_threshold_excess": (
+                    rejoin_excess_hist.maximum if rejoin_excess_hist else None
+                ),
                 "seeds": list(seeds),
                 "violations": counters.get("scenario.violations", 0.0),
                 "checks_run": counters.get("scenario.checks_run", 0.0),

@@ -59,6 +59,13 @@ class AntiEntropyConfig:
             same broadcast inside the own vgroup.
         summary_bytes_base: Fixed wire size of a summary/request/hint.
         summary_bytes_per_id: Per-id wire size of a summary/request/hint.
+        gc_settled_age: Age after which a *settled* broadcast's payload is
+            garbage-collected from the repair store (with its cooldown
+            state).  Every reachable peer had this long to pull the payload;
+            under sustained traffic (continuous churn especially) keeping
+            settled payloads forever is the unbounded-store growth the
+            ROADMAP flagged.  ``None`` disables the age GC, leaving only the
+            summary-window bound.
     """
 
     period: float = 1.0
@@ -71,6 +78,7 @@ class AntiEntropyConfig:
     repropose_cooldown: float = 4.0
     summary_bytes_base: int = 48
     summary_bytes_per_id: int = 8
+    gc_settled_age: Optional[float] = 120.0
 
 
 class AntiEntropyRepair:
@@ -139,20 +147,50 @@ class AntiEntropyRepair:
         node = self.node
         if not node.is_correct or not node.is_member:
             return
+        self._gc_settled()
         peers = self._peer_candidates()
         if not peers:
             return
         count = min(self.config.fanout, len(peers))
         chosen = self._rng.sample(peers, count)
-        # The summary is just the id set: repair direction is carried by the
-        # ae.request reply (which names the *requester's* group).
-        summary = self._summary_ids()
+        # The summary carries the delivered-id window plus the replica's
+        # stable-checkpoint seq (None for engines without checkpointing):
+        # repair direction is carried by the ae.request reply (which names
+        # the *requester's* group), and the checkpoint seq lets a stalled
+        # co-member discover an SMR log gap without waiting for a view
+        # change (see AtumNode.on_checkpoint_hint).
+        summary = (self._summary_ids(), node.smr_stable_checkpoint())
         size = self.config.summary_bytes_base + self.config.summary_bytes_per_id * len(
-            summary
+            summary[0]
         )
         for peer in chosen:
             node.send_direct(peer, "ae.summary", summary, size_bytes=size)
             node.sim.metrics.increment("ae.summaries_sent")
+
+    def _gc_settled(self) -> None:
+        """Drop settled payloads (and their cooldowns) from the repair store.
+
+        A payload delivered more than ``gc_settled_age`` ago had dozens of
+        summary periods to be pulled by any reachable peer; holding it
+        longer only grows the store without bound under sustained traffic.
+        Gaps older than that horizon are beyond this node's repair reach
+        (a co-member with a fresher copy, or nobody, serves them).
+        """
+        age = self.config.gc_settled_age
+        if age is None or not self.store:
+            return
+        cutoff = self.node.sim.now - age
+        delivered = self.node.delivered
+        stale = [b for b in self.store if delivered.get(b, cutoff) < cutoff]
+        if not stale:
+            return
+        for bcast_id in stale:
+            del self.store[bcast_id]
+            self._last_repropose.pop(bcast_id, None)
+        stale_set = set(stale)
+        for key in [k for k in self._last_resend if k[0] in stale_set]:
+            del self._last_resend[key]
+        self.node.sim.metrics.increment("ae.store_gc_dropped", len(stale))
 
     def _peer_candidates(self) -> List[str]:
         """Gossip neighbours, in deterministic order: co-members, then members
@@ -197,7 +235,12 @@ class AntiEntropyRepair:
         node = self.node
         if not node.is_correct or not node.is_member:
             return
-        peer_ids = payload
+        peer_ids, peer_checkpoint = payload
+        if peer_checkpoint is not None:
+            # Co-membership and rate limiting are checked by the node/
+            # manager; the hint itself is untrusted (the state-transfer
+            # response it provokes carries the verifiable certificate).
+            node.on_checkpoint_hint(sender, peer_checkpoint)
         cap = self.config.max_repairs_per_peer
         delivered = node.delivered
         missing_here = [b for b in peer_ids if b not in delivered]

@@ -155,6 +155,10 @@ class MembershipEngine:
     def pending_operations(self) -> int:
         return len(self._pending_ops)
 
+    def has_pending_operation(self, node: str) -> bool:
+        """Whether a join/leave operation for ``node`` is currently in flight."""
+        return any(stats.node == node for stats in self._pending_ops.values())
+
     def average_group_size(self) -> float:
         if not self.groups:
             return 0.0

@@ -21,11 +21,25 @@ from repro.smr.base import (
     sync_fault_threshold,
     async_fault_threshold,
 )
+from repro.smr.checkpoint import (
+    Checkpoint,
+    CheckpointAnnounce,
+    CheckpointCertificate,
+    CheckpointManager,
+    StateTransferRequest,
+    StateTransferResponse,
+)
 from repro.smr.dolev_strong import DolevStrongInstance, SyncSmrReplica
 from repro.smr.pbft import PbftReplica
 from repro.smr.harness import ReplicaGroupHarness
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointAnnounce",
+    "CheckpointCertificate",
+    "CheckpointManager",
+    "StateTransferRequest",
+    "StateTransferResponse",
     "SmrConfig",
     "SmrReplica",
     "Operation",

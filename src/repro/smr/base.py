@@ -47,12 +47,24 @@ class SmrConfig:
         request_timeout: View-change timeout in seconds (Async only).
         message_bytes: Nominal size of a protocol message for the network model.
         max_instances: Safety valve on concurrently active instances.
+        checkpoint_interval: Decided operations between PBFT checkpoints
+            (the low/high water mark distance); ``0`` disables checkpointing
+            and state transfer entirely — the default, so legacy runs stay
+            byte-identical (Async only; see :mod:`repro.smr.checkpoint`).
+        checkpoint_announce_period: Interval of the stable-checkpoint
+            announce timer (the liveness path for replicas that were cut
+            off while the checkpoint formed).
+        state_transfer_timeout: How long a replica waits for a state
+            transfer response before retrying with the next certifier.
     """
 
     round_duration: float = 1.0
     request_timeout: float = 2.0
     message_bytes: int = 512
     max_instances: int = 10_000
+    checkpoint_interval: int = 0
+    checkpoint_announce_period: float = 2.0
+    state_transfer_timeout: float = 3.0
 
 
 class SmrReplica(abc.ABC):
@@ -85,11 +97,26 @@ class SmrReplica(abc.ABC):
         self.decided_log: List[Operation] = []
         self.running = True
 
+    #: Optional checkpoint/state-transfer manager (PBFT only, and only when
+    #: ``SmrConfig.checkpoint_interval > 0``); see :mod:`repro.smr.checkpoint`.
+    checkpoints = None
+
     # ----------------------------------------------------------------- queries
 
     @property
     def group_size(self) -> int:
         return len(self.members)
+
+    def stable_checkpoint_seq(self) -> Optional[int]:
+        """Decided-op count of the stable checkpoint (``None`` if unsupported).
+
+        Engines without checkpointing return ``None``; a checkpointing PBFT
+        replica returns ``0`` until its first certificate forms.  Anti-entropy
+        summaries advertise this so stalled co-replicas discover log gaps
+        without waiting for a view change.
+        """
+        manager = self.checkpoints
+        return manager.stable_seq if manager is not None else None
 
     @property
     @abc.abstractmethod

@@ -1,0 +1,720 @@
+"""PBFT checkpointing and state transfer: liveness-restoring catch-up.
+
+Before this module, a PBFT replica that missed decisions (isolated by a
+partition, on the losing side of a split) was *safe but never live* again
+unless fresh traffic forced a view change: its decided log stalled at the
+gap forever.  Classic PBFT solves this with periodic checkpoints and state
+transfer, and that is what :class:`CheckpointManager` adds to
+:class:`~repro.smr.pbft.PbftReplica`:
+
+* every ``checkpoint_interval`` executed operations a replica signs and
+  broadcasts a :class:`Checkpoint` over the digest of its decided log;
+* ``2f + 1`` matching checkpoints form a :class:`CheckpointCertificate`
+  (the *stable checkpoint*), at which point the protocol message log below
+  it is garbage-collected (executed slots feed no future view change vote:
+  laggards catch up through state transfer instead);
+* a replica that learns of a certified checkpoint ahead of its own decided
+  log — through checkpoint votes, a periodic :class:`CheckpointAnnounce`,
+  the certificate carried by view-change/new-view messages, or an
+  anti-entropy hint (:mod:`repro.group.antientropy`) — fetches the missing
+  operations plus the certificate from a co-replica
+  (:class:`StateTransferRequest` / :class:`StateTransferResponse`),
+  verifies the transferred prefix against the certified state digest, and
+  installs it.  Installation replays ``decide_fn`` so the host node's
+  delivered-broadcast state (the snapshot the paper's state transfer
+  ships) is restored too.
+
+Safety of installation never rests on the responder: a certificate needs
+``2f + 1`` distinct member signatures over ``(epoch, seq, state digest)``,
+and the response is accepted only if the digest of (own log + transferred
+operations) equals the certified digest — a forged certificate, a
+tampered operation body, a stale low-water-mark or a response that no
+longer lines up with the local log is rejected and counted
+(``smr.checkpoint.rejected``), never installed.
+
+Everything here is driven by existing protocol events plus one periodic
+announce timer per replica; the timer is only created when
+``SmrConfig.checkpoint_interval > 0``, so runs with checkpointing
+disabled (the default) are byte-identical to pre-checkpoint builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+from repro.crypto.digest import digest_object
+from repro.crypto.keys import Signature
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.smr.base import Operation
+    from repro.smr.pbft import PbftReplica
+
+
+# --------------------------------------------------------------------- frames
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One replica's signed claim "my first ``seq`` decided ops digest to X".
+
+    ``seq`` counts *decided operations* (the length of the decided log),
+    not per-view sequence numbers: view changes and epoch-local sequence
+    resets never renumber the decided log, so certificates stay comparable
+    across views.
+    """
+
+    epoch: int
+    seq: int
+    state_digest: str
+    replica: str
+    signature: Signature
+
+
+@dataclass(frozen=True)
+class CheckpointCertificate:
+    """``2f + 1`` matching checkpoint signatures: a *stable* checkpoint."""
+
+    epoch: int
+    seq: int
+    state_digest: str
+    signatures: Tuple[Signature, ...]
+
+    @property
+    def signers(self) -> Tuple[str, ...]:
+        return tuple(signature.signer for signature in self.signatures)
+
+
+@dataclass(frozen=True)
+class CheckpointAnnounce:
+    """Periodic re-broadcast of the stable checkpoint (plus the log length).
+
+    This is the liveness path for a healed replica when no new requests
+    flow: checkpoint votes were broadcast while it was cut off, so only a
+    periodic announce lets it discover the gap at all.  ``log_length``
+    additionally covers the *uncertified tail* — operations decided since
+    the last checkpoint (or before the first one forms).  A replica whose
+    log stays frozen below an announced length for a full grace period
+    starts a view change, whose carried prepared slots re-serve exactly
+    that tail; the claim itself is unverified, but a view change is always
+    safe and a single Byzantine replica can force one anyway by sending a
+    view-change vote, so this adds no new attack surface.
+    """
+
+    epoch: int
+    certificate: Optional[CheckpointCertificate]
+    log_length: int = 0
+
+
+@dataclass(frozen=True)
+class StateTransferRequest:
+    """"I have ``have_count`` decided operations; serve me your checkpoint"."""
+
+    epoch: int
+    have_count: int
+    replica: str
+
+
+@dataclass(frozen=True)
+class StateTransferResponse:
+    """The certified prefix ``[base_count, certificate.seq)`` of the log."""
+
+    epoch: int
+    certificate: CheckpointCertificate
+    base_count: int
+    operations: Tuple["Operation", ...]
+
+
+def checkpoint_statement(epoch: int, seq: int, state_digest: str) -> Tuple:
+    """The statement a checkpoint signature covers."""
+    return ("pbft-checkpoint", epoch, seq, state_digest)
+
+
+def state_digest_of(operations: Sequence["Operation"], interval: int) -> str:
+    """Chained digest of a decided-log prefix (operation *contents*).
+
+    Digesting full operations — not just op ids — is what lets a state
+    transfer receiver detect tampered operation bodies: a response whose
+    operations do not reproduce the certified digest is rejected whole.
+
+    The digest chains in ``interval``-sized chunks
+    (``d_i = H(d_{i-1}, chunk_i)``) rather than hashing the whole prefix
+    flat: emitters fold only the newest chunk onto a cached chain value
+    (O(interval) per checkpoint instead of O(log) — see
+    :meth:`CheckpointManager._state_digest_at`), while any verifier with
+    the full prefix can recompute the chain from genesis.  Chunk
+    boundaries are deterministic because every certificate seq is a
+    multiple of the group-wide configured interval.
+    """
+    digest = ""
+    for start in range(0, len(operations), interval):
+        digest = digest_object(
+            ("pbft-ckpt-chain", digest, tuple(operations[start : start + interval]))
+        )
+    return digest
+
+
+# -------------------------------------------------------------------- manager
+
+
+class CheckpointManager:
+    """Checkpoint/state-transfer state of one :class:`PbftReplica`.
+
+    The replica owns the manager (``replica.checkpoints``), feeds it every
+    newly committed operation (:meth:`on_committed`), routes the four
+    checkpoint frame types to it, and consults :attr:`transfer_blocking`
+    before executing slots — while a certified checkpoint ahead of the
+    local log is known and not yet installed, executing new-view
+    re-proposals would append operations *after* the missing prefix and
+    diverge, so execution pauses until the transfer installs.
+    """
+
+    def __init__(self, replica: "PbftReplica") -> None:
+        self.replica = replica
+        self.interval = replica.config.checkpoint_interval
+        self.stable: Optional[CheckpointCertificate] = None
+        # (seq, digest) -> signer -> verified signature.
+        self._votes: Dict[Tuple[int, str], Dict[str, Signature]] = {}
+        # Decided-log position per op id, for slot GC below the stable
+        # checkpoint (kept in lockstep with replica.decided_log).
+        self._positions: Dict[str, int] = {}
+        # Outstanding state transfer: the certificate we must install up to.
+        self._transfer_target: Optional[CheckpointCertificate] = None
+        self._transfer_requested_at: float = -1.0
+        self._transfer_attempts: int = 0
+        # Whether the install should be followed by a view change to
+        # realign the view-local execution cursor.  True for transfers
+        # triggered outside a view change (announce, anti-entropy hint);
+        # False when a new view triggered the transfer — that view's own
+        # re-proposals already run under a fresh, gap-free numbering.
+        self._realign_after_install = True
+        self._last_hint_request: float = -1.0
+        self._announce_armed = False
+        # Tail catch-up state: how long our log has been frozen below a
+        # co-replica's announced (uncertified) log length.
+        self._tail_seen_length = -1
+        self._tail_deficit_since = -1.0
+        self._last_tail_view_change = -1.0
+        # Incremental chain-digest cache: the chained state digest over the
+        # first _chain_count decided operations (a multiple of interval).
+        # The decided log is append-only, so each emission folds only the
+        # chunks decided since the last one.
+        self._chain_count = 0
+        self._chain_digest = ""
+        if self.interval > 0:
+            self._arm_announce_timer()
+
+    # ----------------------------------------------------------------- queries
+
+    @property
+    def stable_seq(self) -> int:
+        """Sequence (decided-op count) of the stable checkpoint (0 = none)."""
+        return self.stable.seq if self.stable is not None else 0
+
+    @property
+    def transfer_blocking(self) -> bool:
+        """Whether execution must pause until a state transfer installs.
+
+        True while a *certified* checkpoint ahead of the local decided log
+        is known: executing newer slots first would commit operations past
+        the missing prefix and break prefix consistency.
+        """
+        target = self._transfer_target
+        if target is None:
+            return False
+        if len(self.replica.decided_log) >= target.seq:
+            self._transfer_target = None
+            return False
+        return True
+
+    def _metrics(self):
+        return self.replica.sim.metrics
+
+    def _reject(self, reason: str) -> None:
+        metrics = self._metrics()
+        metrics.increment("smr.checkpoint.rejected")
+        metrics.increment(f"smr.checkpoint.rejected_{reason}")
+
+    # ------------------------------------------------------------ vote pipeline
+
+    def on_committed(self, operation: "Operation") -> None:
+        """A newly decided operation was appended to the decided log."""
+        log = self.replica.decided_log
+        self._positions[operation.op_id] = len(log) - 1
+        if self.interval > 0 and len(log) % self.interval == 0:
+            self._emit_checkpoint(len(log))
+
+    def _advance_chain(self, limit: int) -> None:
+        """Fold full decided-log chunks up to ``limit`` into the cache."""
+        log = self.replica.decided_log
+        while self._chain_count + self.interval <= limit:
+            next_count = self._chain_count + self.interval
+            self._chain_digest = digest_object(
+                (
+                    "pbft-ckpt-chain",
+                    self._chain_digest,
+                    tuple(log[self._chain_count : next_count]),
+                )
+            )
+            self._chain_count = next_count
+
+    def _state_digest_at(self, seq: int) -> str:
+        """Chained state digest over the first ``seq`` decided operations.
+
+        Advances the incremental cache chunk by chunk, so each checkpoint
+        emission costs O(interval) digest work regardless of log length;
+        equals ``state_digest_of(decided_log[:seq], interval)``.
+        """
+        self._advance_chain(seq)
+        if self._chain_count == seq:
+            return self._chain_digest
+        # Defensive: certificate seqs are always interval multiples, but a
+        # stray partial tail still digests deterministically (uncached).
+        log = self.replica.decided_log
+        return digest_object(
+            ("pbft-ckpt-chain", self._chain_digest, tuple(log[self._chain_count : seq]))
+        )
+
+    def _chained_digest_with(self, operations: Sequence["Operation"]) -> str:
+        """Chain digest over (decided log + ``operations``), cache-assisted.
+
+        Equals ``state_digest_of(log + operations, interval)`` but folds
+        only the local log's uncached tail plus the transferred chunk —
+        O(interval + len(operations)) per state-transfer verification
+        instead of re-hashing the whole log from genesis.
+        """
+        log = self.replica.decided_log
+        self._advance_chain(len(log))
+        digest = self._chain_digest
+        tail = list(log[self._chain_count :]) + list(operations)
+        for start in range(0, len(tail), self.interval):
+            digest = digest_object(
+                ("pbft-ckpt-chain", digest, tuple(tail[start : start + self.interval]))
+            )
+        return digest
+
+    def _emit_checkpoint(self, seq: int) -> None:
+        replica = self.replica
+        digest = self._state_digest_at(seq)
+        statement = checkpoint_statement(replica.epoch, seq, digest)
+        message = Checkpoint(
+            epoch=replica.epoch,
+            seq=seq,
+            state_digest=digest,
+            replica=replica.node_id,
+            signature=replica.registry.sign(replica.node_id, statement),
+        )
+        self._metrics().increment("smr.checkpoint.emitted")
+        replica._broadcast(message)
+        self._record_vote(message)
+
+    def on_checkpoint(self, message: Checkpoint, sender: str) -> None:
+        replica = self.replica
+        if message.epoch != replica.epoch:
+            return
+        if message.seq < 1:
+            self._reject("bad_seq")
+            return
+        if message.replica != sender and sender != replica.node_id:
+            self._reject("relayed_vote")
+            return
+        if message.replica not in replica.members:
+            self._reject("non_member")
+            return
+        statement = checkpoint_statement(message.epoch, message.seq, message.state_digest)
+        if (
+            message.signature.signer != message.replica
+            or not replica.registry.verify(message.signature, statement)
+        ):
+            self._reject("bad_signature")
+            return
+        self._record_vote(message)
+
+    def _record_vote(self, message: Checkpoint) -> None:
+        if self.stable is not None and message.seq <= self.stable.seq:
+            return
+        votes = self._votes.setdefault((message.seq, message.state_digest), {})
+        votes[message.replica] = message.signature
+        quorum = self.replica._quorum_2f1()
+        if len(votes) >= quorum or len(self.replica.members) == 1:
+            certificate = CheckpointCertificate(
+                epoch=self.replica.epoch,
+                seq=message.seq,
+                state_digest=message.state_digest,
+                signatures=tuple(votes[signer] for signer in sorted(votes)),
+            )
+            self._adopt_stable(certificate)
+
+    # ------------------------------------------------------- stable checkpoints
+
+    def valid_certificate(self, certificate: Optional[CheckpointCertificate]) -> bool:
+        """Self-contained certificate check: signatures, membership, quorum."""
+        if certificate is None:
+            return False
+        replica = self.replica
+        if certificate.epoch != replica.epoch or certificate.seq < 1:
+            return False
+        signers = certificate.signers
+        if len(set(signers)) != len(signers):
+            return False
+        members = set(replica.members)
+        if not set(signers) <= members:
+            return False
+        quorum = replica._quorum_2f1() if len(replica.members) > 1 else 1
+        if len(signers) < quorum:
+            return False
+        statement = checkpoint_statement(
+            certificate.epoch, certificate.seq, certificate.state_digest
+        )
+        # registry.verify (not verify_digest against one precomputed
+        # digest): each signature's digest is recomputed in the token mode
+        # it was *created* under, so certificates survive a global
+        # digest-mode switch exactly like every other signature.
+        return all(
+            replica.registry.verify(signature, statement)
+            for signature in certificate.signatures
+        )
+
+    def _adopt_stable(
+        self, certificate: CheckpointCertificate, realign: bool = True
+    ) -> None:
+        """Install a (locally formed or received-and-verified) certificate."""
+        if self.stable is not None and certificate.seq <= self.stable.seq:
+            return
+        self.stable = certificate
+        metrics = self._metrics()
+        metrics.increment("smr.checkpoint.stable")
+        for key in [key for key in self._votes if key[0] <= certificate.seq]:
+            del self._votes[key]
+        self.replica._gc_below_checkpoint(certificate.seq, self._positions)
+        # Positions below the stable checkpoint have no remaining consumer
+        # (their slots are gone); prune them so the map stays O(interval +
+        # tail) instead of growing with every operation ever decided.
+        for op_id in [
+            op_id
+            for op_id, position in self._positions.items()
+            if position < certificate.seq
+        ]:
+            del self._positions[op_id]
+        if len(self.replica.decided_log) < certificate.seq:
+            # The certificate certifies operations we never decided: we are
+            # the lagging replica.  Fetch the prefix from a certifier.
+            self._begin_transfer(certificate, realign=realign)
+
+    def on_announce(self, message: CheckpointAnnounce, sender: str) -> None:
+        if message.epoch != self.replica.epoch:
+            return
+        if sender not in self.replica.members:
+            self._reject("non_member")
+            return
+        certificate = message.certificate
+        if certificate is not None and (
+            self.stable is None or certificate.seq > self.stable.seq
+        ):
+            if self.valid_certificate(certificate):
+                self._adopt_stable(certificate)
+            else:
+                self._reject("bad_certificate")
+        self._note_peer_log_length(message.log_length)
+
+    def _note_peer_log_length(self, peer_length: int) -> None:
+        """Track a co-replica's announced log length for tail catch-up.
+
+        A certified checkpoint only covers multiples of the interval; the
+        decided tail beyond it (or a short log before the first checkpoint
+        forms) leaves no certificate to transfer.  If our log stays frozen
+        below an announced length for a full grace window — i.e. we are
+        stalled, not merely slower — a view change re-serves the tail
+        through carried prepared slots.  While our log is still moving
+        (ordinary in-flight lag) the deficit clock resets, so active groups
+        never trigger spurious view changes.
+        """
+        replica = self.replica
+        own_length = len(replica.decided_log)
+        if self._tail_seen_length != own_length or self.transfer_blocking:
+            # Our log moved (ordinary in-flight lag) or a transfer is
+            # already chasing a certified gap: restart the observation.
+            self._tail_seen_length = own_length
+            self._tail_deficit_since = -1.0
+            if self.transfer_blocking:
+                return
+        if peer_length <= own_length:
+            # A peer that is not ahead says nothing about a stall — in
+            # particular it must NOT clear a running deficit clock, or two
+            # replicas stalled at the same length would suppress each
+            # other's recovery with every announce round.
+            return
+        now = replica.sim.now
+        if self._tail_deficit_since < 0:
+            self._tail_deficit_since = now
+            return
+        period = replica.config.checkpoint_announce_period
+        if now - self._tail_deficit_since < 2.0 * period:
+            return
+        if (
+            self._last_tail_view_change >= 0
+            and now - self._last_tail_view_change < 4.0 * period
+        ):
+            return
+        self._last_tail_view_change = now
+        self._tail_deficit_since = now
+        self._metrics().increment("smr.checkpoint.tail_view_changes")
+        replica._start_view_change()
+
+    def on_new_view_certificate(self, certificate: CheckpointCertificate) -> None:
+        """The new-view message carried a stable checkpoint certificate.
+
+        If it reaches beyond our decided log we must install it before
+        executing the view's re-proposals (some covered operations may be
+        garbage-collected out of them); the triggered transfer blocks
+        execution and skips the post-install realignment view change — this
+        view already re-executes under a fresh numbering.
+        """
+        replica = self.replica
+        if certificate.seq <= len(replica.decided_log):
+            # Nothing to transfer; still adopt a newer certificate so our
+            # own GC and future votes benefit from it.
+            if (
+                self.stable is None or certificate.seq > self.stable.seq
+            ) and self.valid_certificate(certificate):
+                self._adopt_stable(certificate)
+            return
+        if not self.valid_certificate(certificate):
+            self._reject("bad_certificate")
+            return
+        if self.stable is None or certificate.seq > self.stable.seq:
+            self._adopt_stable(certificate, realign=False)
+        else:
+            # We already lag our own stable checkpoint; make sure a
+            # transfer is actually in flight.
+            self._begin_transfer(self.stable, realign=False)
+
+    # ------------------------------------------------------------ gap handling
+
+    def on_gap_hint(self, peer: str, seq: int) -> None:
+        """An anti-entropy summary advertised a stable checkpoint at ``seq``.
+
+        The hint carries no certificate, so nothing is trusted yet: we ask
+        ``peer`` for a state transfer and validate the certificate that
+        comes back with the response.  Rate-limited so periodic summaries
+        do not flood an already-recovering replica.
+        """
+        replica = self.replica
+        if self.interval <= 0 or not replica.running:
+            return
+        if seq <= len(replica.decided_log) or seq <= self.stable_seq:
+            return
+        if self.transfer_blocking:
+            return  # a certified transfer is already in flight
+        now = replica.sim.now
+        cooldown = replica.config.checkpoint_announce_period
+        if self._last_hint_request >= 0 and now - self._last_hint_request < cooldown:
+            return
+        self._last_hint_request = now
+        self._metrics().increment("smr.checkpoint.gap_hints")
+        self._send_request(peer)
+
+    def _begin_transfer(
+        self, certificate: CheckpointCertificate, realign: bool = True
+    ) -> None:
+        if self._transfer_target is not None and (
+            certificate.seq <= self._transfer_target.seq
+        ):
+            return
+        self._transfer_target = certificate
+        self._transfer_attempts = 0
+        self._realign_after_install = realign
+        self._metrics().increment("smr.checkpoint.gaps_detected")
+        self._request_from_certifier()
+
+    def _request_from_certifier(self) -> None:
+        target = self._transfer_target
+        if target is None:
+            return
+        peers = [s for s in sorted(set(target.signers)) if s != self.replica.node_id]
+        if not peers:
+            return
+        peer = peers[self._transfer_attempts % len(peers)]
+        self._transfer_attempts += 1
+        self._send_request(peer)
+
+    def _send_request(self, peer: str) -> None:
+        replica = self.replica
+        self._transfer_requested_at = replica.sim.now
+        self._metrics().increment("smr.checkpoint.state_requests")
+        request = StateTransferRequest(
+            epoch=replica.epoch,
+            have_count=len(replica.decided_log),
+            replica=replica.node_id,
+        )
+        replica.send_fn(peer, request, replica.config.message_bytes)
+
+    def on_state_request(self, message: StateTransferRequest, sender: str) -> None:
+        replica = self.replica
+        if message.epoch != replica.epoch:
+            return
+        if sender not in replica.members:
+            self._reject("request_non_member")
+            return
+        stable = self.stable
+        if stable is None or stable.seq <= message.have_count:
+            return  # nothing certified beyond the requester's log
+        if len(replica.decided_log) < stable.seq:
+            return  # we are lagging ourselves; cannot serve
+        operations = tuple(replica.decided_log[message.have_count : stable.seq])
+        response = StateTransferResponse(
+            epoch=replica.epoch,
+            certificate=stable,
+            base_count=message.have_count,
+            operations=operations,
+        )
+        self._metrics().increment("smr.checkpoint.state_responses")
+        size = replica.config.message_bytes + 64 * len(operations)
+        replica.send_fn(sender, response, size)
+
+    def on_state_response(self, message: StateTransferResponse, sender: str) -> None:
+        """Validate and install a transferred decided-log prefix.
+
+        Every check is local: the certificate must verify on its own, and
+        the transferred operations must extend *our* log to exactly the
+        certified digest.  A response that fails any check is dropped and
+        counted — the log is never touched.
+        """
+        replica = self.replica
+        if message.epoch != replica.epoch:
+            return
+        certificate = message.certificate
+        if not self.valid_certificate(certificate):
+            self._reject("bad_certificate")
+            return
+        log = replica.decided_log
+        if certificate.seq <= len(log):
+            return  # already caught up past this checkpoint
+        if message.base_count != len(log):
+            # The local log moved (or the responder lied about the base);
+            # retry from scratch rather than splicing at a wrong offset.
+            self._reject("stale_base")
+            return
+        if len(message.operations) != certificate.seq - message.base_count:
+            self._reject("length_mismatch")
+            return
+        if any(op.op_id in replica._executed_ops for op in message.operations):
+            self._reject("duplicate_operation")
+            return
+        if self._chained_digest_with(message.operations) != certificate.state_digest:
+            self._reject("digest_mismatch")
+            return
+        self._install(certificate, message.operations)
+
+    def _install(
+        self,
+        certificate: CheckpointCertificate,
+        operations: Tuple["Operation", ...],
+    ) -> None:
+        replica = self.replica
+        metrics = self._metrics()
+        for operation in operations:
+            replica._executed_ops.add(operation.op_id)
+            replica._pending_requests.pop(operation.op_id, None)
+            replica._commit(operation)  # appends, notifies decide_fn, hooks us
+        metrics.increment("smr.checkpoint.transfers_completed")
+        metrics.increment("smr.checkpoint.ops_installed", len(operations))
+        target = self._transfer_target
+        still_lagging = target is not None and len(replica.decided_log) < target.seq
+        realign = self._realign_after_install
+        if not still_lagging:
+            self._transfer_target = None
+            self._realign_after_install = True
+        if self.stable is None or certificate.seq > self.stable.seq:
+            self._adopt_stable(certificate)
+        if still_lagging:
+            # This response served an *older* certificate than the pending
+            # transfer target (e.g. a hint-path response raced a new-view
+            # certificate).  The higher checkpoint's gap is still open, so
+            # execution must stay blocked — clearing the target here would
+            # let new-view re-proposals leapfrog the missing prefix — and
+            # the remaining gap is chased immediately (our base moved, so
+            # the outstanding request's response would be stale-based).
+            self._request_from_certifier()
+            return
+        replica._after_state_install(realign=realign)
+
+    # ------------------------------------------------------------------- timer
+
+    def _arm_announce_timer(self) -> None:
+        if self._announce_armed:
+            return
+        self._announce_armed = True
+        self.replica.sim.schedule(
+            self.replica.config.checkpoint_announce_period,
+            self._announce_tick,
+            tag=f"{self.replica.node_id}:ckpt-announce",
+        )
+
+    def _announce_tick(self) -> None:
+        self._announce_armed = False
+        replica = self.replica
+        if not replica.running:
+            return
+        self._arm_announce_timer()
+        if len(replica.members) > 1:
+            self._metrics().increment("smr.checkpoint.announces")
+            replica._broadcast(
+                CheckpointAnnounce(
+                    epoch=replica.epoch,
+                    certificate=self.stable,
+                    log_length=len(replica.decided_log),
+                )
+            )
+        # Retry a stuck state transfer from the next certifier: the first
+        # responder may be Byzantine, partitioned, or gone.
+        if self.transfer_blocking:
+            timeout = replica.config.state_transfer_timeout
+            if replica.sim.now - self._transfer_requested_at >= timeout:
+                self._request_from_certifier()
+
+    # ------------------------------------------------------------------ routing
+
+    def handle(self, payload, sender: str) -> bool:
+        """Route a checkpoint frame; returns False for other payload types."""
+        if isinstance(payload, Checkpoint):
+            self.on_checkpoint(payload, sender)
+        elif isinstance(payload, CheckpointAnnounce):
+            self.on_announce(payload, sender)
+        elif isinstance(payload, StateTransferRequest):
+            self.on_state_request(payload, sender)
+        elif isinstance(payload, StateTransferResponse):
+            self.on_state_response(payload, sender)
+        else:
+            return False
+        return True
+
+    # ------------------------------------------------------------------- epoch
+
+    def reset_for_epoch(self) -> None:
+        """A reconfiguration installed a new epoch: certificates die with it.
+
+        The decided log (and its positions) persists across epochs — only
+        the epoch-scoped certificate/vote/transfer state resets, because
+        certificates are signed over the epoch and the membership that
+        signed them may be gone.
+        """
+        self.stable = None
+        self._votes.clear()
+        self._transfer_target = None
+        self._transfer_attempts = 0
+        # An aborted new-view transfer must not leave realign=False behind,
+        # or the next epoch's hint-path install would skip its view change.
+        self._realign_after_install = True
+
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointCertificate",
+    "CheckpointAnnounce",
+    "StateTransferRequest",
+    "StateTransferResponse",
+    "CheckpointManager",
+    "checkpoint_statement",
+    "state_digest_of",
+]

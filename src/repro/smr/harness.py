@@ -124,17 +124,19 @@ class ReplicaGroupHarness:
         """Return decided op-id logs of all correct replicas."""
         return [[op.op_id for op in actor.decided] for actor in self.correct_actors()]
 
-    def agreement_violations(self) -> List[str]:
+    def agreement_violations(self, require_equality: bool = False) -> List[str]:
         """Agreement-invariant check: correct logs must be prefix-consistent.
 
         Delegates to :func:`repro.faults.invariants.check_agreement_logs`;
         an empty list means every pair of correct replicas decided the same
         operations in the same order (lagging replicas allowed, diverging
-        ones are a safety violation).
+        ones are a safety violation).  With ``require_equality`` (used when
+        PBFT checkpoint/state transfer is enabled) lagging is a violation
+        too: every pair of correct logs must be *equal*.
         """
         from repro.faults.invariants import check_agreement_logs
 
-        return check_agreement_logs(self.decided_logs())
+        return check_agreement_logs(self.decided_logs(), require_equality=require_equality)
 
     def all_correct_decided(self, op_id: str) -> bool:
         return all(

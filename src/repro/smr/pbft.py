@@ -21,6 +21,7 @@ from repro.crypto.digest import digest_object
 from repro.crypto.keys import KeyRegistry
 from repro.sim.simulator import Simulator
 from repro.smr.base import Operation, SmrConfig, SmrReplica, async_fault_threshold
+from repro.smr.checkpoint import CheckpointCertificate, CheckpointManager
 
 
 # --------------------------------------------------------------------------- messages
@@ -82,6 +83,12 @@ class PbftViewChange:
     # entry for a sequence slot, or a straggler's stale prepared operation
     # could displace one committed later under the same bare seq.
     prepared: Tuple[Tuple[int, int, str, Operation], ...]
+    # The voter's stable checkpoint certificate (None when checkpointing is
+    # disabled or no checkpoint is stable yet).  Carrying it lets the new
+    # view reference operations that were garbage-collected below the
+    # checkpoint: laggards state-transfer to the certificate instead of
+    # relying on re-proposals that no longer exist.
+    checkpoint: Optional[CheckpointCertificate] = None
 
 
 @dataclass
@@ -89,6 +96,10 @@ class PbftNewView:
     epoch: int
     new_view: int
     operations: Tuple[Tuple[int, Operation], ...]  # (seq, operation) to re-propose
+    # Highest valid stable-checkpoint certificate among the view-change
+    # votes; replicas whose decided log is shorter must install it through
+    # state transfer before executing this view's re-proposals.
+    checkpoint: Optional[CheckpointCertificate] = None
 
 
 # --------------------------------------------------------------------------- state
@@ -131,6 +142,13 @@ class PbftReplica(SmrReplica):
         self._pending_requests: Dict[str, Operation] = {}
         self._view_change_votes: Dict[int, Dict[str, PbftViewChange]] = {}
         self._view_change_timer_armed = False
+        # Checkpointing/state transfer (repro.smr.checkpoint) is created
+        # only when configured: a disabled manager would still be one
+        # attribute but MUST schedule nothing, keeping legacy runs
+        # byte-identical.
+        self.checkpoints: Optional[CheckpointManager] = None
+        if self.config.checkpoint_interval > 0:
+            self.checkpoints = CheckpointManager(self)
 
     # ------------------------------------------------------------------ queries
 
@@ -213,6 +231,8 @@ class PbftReplica(SmrReplica):
             self._on_view_change(payload, sender)
         elif isinstance(payload, PbftNewView):
             self._on_new_view(payload, sender)
+        elif self.checkpoints is not None:
+            self.checkpoints.handle(payload, sender)
 
     def reconfigure(self, new_members: Sequence[str]) -> None:
         """Install a new configuration epoch with a fresh agreement state."""
@@ -223,6 +243,8 @@ class PbftReplica(SmrReplica):
         self.last_executed = -1
         self._slots.clear()
         self._view_change_votes.clear()
+        if self.checkpoints is not None:
+            self.checkpoints.reset_for_epoch()
         # Pending requests survive the epoch change and are re-proposed.
         pending = list(self._pending_requests.values())
         self._pending_requests.clear()
@@ -334,6 +356,13 @@ class PbftReplica(SmrReplica):
 
     def _execute_ready(self) -> None:
         """Execute committed slots in sequence order, without gaps."""
+        if self.checkpoints is not None and self.checkpoints.transfer_blocking:
+            # A certified checkpoint ahead of our decided log is known but
+            # not installed yet.  Executing newer slots first (a new view's
+            # re-proposals, say) would append operations past the missing
+            # prefix and diverge; execution resumes when the state transfer
+            # installs (see CheckpointManager / _after_state_install).
+            return
         progressed = True
         while progressed:
             progressed = False
@@ -355,6 +384,50 @@ class PbftReplica(SmrReplica):
                     self._commit(operation)
         if not self._pending_requests:
             self._view_change_timer_armed = False
+
+    def _commit(self, operation: Operation) -> None:
+        super()._commit(operation)
+        if self.checkpoints is not None:
+            self.checkpoints.on_committed(operation)
+
+    # ------------------------------------------------------ checkpointing hooks
+
+    def _gc_below_checkpoint(self, stable_seq: int, positions: Dict[str, int]) -> None:
+        """Garbage-collect executed slots covered by a stable checkpoint.
+
+        Executed implies prepared, so dropped slots stop feeding future
+        view-change votes — that is safe precisely *because* the checkpoint
+        is certified: a replica that needs the dropped operations recovers
+        them through state transfer (the certificate travels with every
+        view-change vote), not through re-proposals.  Slots whose operation
+        position is unknown are conservatively retained.
+        """
+        dead = [
+            key
+            for key, slot in self._slots.items()
+            if slot.executed
+            and slot.operation is not None
+            and positions.get(slot.operation.op_id, stable_seq) < stable_seq
+        ]
+        for key in dead:
+            del self._slots[key]
+        if dead:
+            self.sim.metrics.increment("smr.checkpoint.slots_gc", len(dead))
+
+    def _after_state_install(self, realign: bool) -> None:
+        """Resume after a state transfer installed the certified prefix.
+
+        First drain whatever the transfer unblocked (new-view re-proposals
+        commit while execution pauses).  When the transfer was triggered
+        outside a view change (announce or anti-entropy hint), additionally
+        start one: the current view's slot numbering predates the gap, so
+        committed-but-stuck slots — and any decided tail beyond the last
+        checkpoint — are only reachable through the view change's carried
+        re-proposals, which every vote still retains for unGC'd slots.
+        """
+        self._execute_ready()
+        if realign and self.running and len(self.members) > 1:
+            self._start_view_change()
 
     # -------------------------------------------------------------- view change
 
@@ -395,6 +468,9 @@ class PbftReplica(SmrReplica):
             if slot.prepared and slot.operation is not None
         )
 
+    def _stable_certificate(self) -> Optional[CheckpointCertificate]:
+        return self.checkpoints.stable if self.checkpoints is not None else None
+
     def _start_view_change(self) -> None:
         new_view = self.view + 1
         message = PbftViewChange(
@@ -402,6 +478,7 @@ class PbftReplica(SmrReplica):
             new_view=new_view,
             replica=self.node_id,
             prepared=self._prepared_slots(),
+            checkpoint=self._stable_certificate(),
         )
         self.sim.metrics.increment("smr.pbft.view_changes")
         self._broadcast(message)
@@ -420,6 +497,7 @@ class PbftReplica(SmrReplica):
                 new_view=message.new_view,
                 replica=self.node_id,
                 prepared=self._prepared_slots(),
+                checkpoint=self._stable_certificate(),
             )
             votes[self.node_id] = own
             self._broadcast(own)
@@ -449,10 +527,22 @@ class PbftReplica(SmrReplica):
         # prefix-preserving across *chains* of view changes.  Conflicting
         # claims for one slot resolve deterministically by replica order.
         carried: Dict[Tuple[int, int], Operation] = {}
+        best_certificate: Optional[CheckpointCertificate] = None
         for replica in sorted(votes):
             for old_view, old_seq, _digest, operation in votes[replica].prepared:
                 if operation is not None and (old_view, old_seq) not in carried:
                     carried[(old_view, old_seq)] = operation
+            vote_certificate = votes[replica].checkpoint
+            if (
+                self.checkpoints is not None
+                and vote_certificate is not None
+                and (
+                    best_certificate is None
+                    or vote_certificate.seq > best_certificate.seq
+                )
+                and self.checkpoints.valid_certificate(vote_certificate)
+            ):
+                best_certificate = vote_certificate
         operations: List[Tuple[int, Operation]] = []
         seq = 0
         seen: Set[str] = set()
@@ -471,7 +561,10 @@ class PbftReplica(SmrReplica):
             operations.append((seq, operation))
             seq += 1
         new_view_message = PbftNewView(
-            epoch=self.epoch, new_view=new_view, operations=tuple(operations)
+            epoch=self.epoch,
+            new_view=new_view,
+            operations=tuple(operations),
+            checkpoint=best_certificate,
         )
         self._broadcast(new_view_message)
         self._on_new_view(new_view_message, self.node_id)
@@ -496,6 +589,12 @@ class PbftReplica(SmrReplica):
             if key[0] >= self.view or slot.prepared
         }
         self.sim.metrics.increment("smr.pbft.new_views")
+        if self.checkpoints is not None and message.checkpoint is not None:
+            # A certified checkpoint ahead of our log means operations were
+            # garbage-collected out of the carried re-proposals; install it
+            # through state transfer before executing anything in this view
+            # (execution blocks until the transfer completes).
+            self.checkpoints.on_new_view_certificate(message.checkpoint)
         if self.is_primary():
             for _, operation in message.operations:
                 self._assign_and_preprepare(operation)

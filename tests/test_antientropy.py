@@ -162,6 +162,70 @@ class TestRepair:
         assert total_after <= (len(cluster.nodes) - 1) * config.fanout * ticks
 
 
+class TestCheckpointHints:
+    def test_summaries_advertise_no_checkpoint_on_the_sync_engine(self):
+        cluster = build_cluster(seed=41, nodes=8)
+        node = cluster.nodes["n0"]
+        assert node.smr_stable_checkpoint() is None
+        captured = {}
+        original = node.send_direct
+
+        def spy(peer, kind, payload, size_bytes=256):
+            if kind == "ae.summary":
+                captured.setdefault("payload", payload)
+            return original(peer, kind, payload, size_bytes=size_bytes)
+
+        node.send_direct = spy
+        cluster.run(until=5.0)
+        ids, checkpoint = captured["payload"]
+        assert isinstance(ids, tuple)
+        assert checkpoint is None
+
+    def test_summaries_advertise_the_stable_checkpoint_under_pbft(self):
+        from repro.core.config import SmrKind
+
+        cluster = AtumCluster(
+            small_params().with_overrides(
+                smr_kind=SmrKind.ASYNC, checkpoint_interval=2
+            ),
+            seed=43,
+            antientropy=AntiEntropyConfig(),
+        )
+        cluster.build_static([f"n{i}" for i in range(8)])
+        # Gossip-delivered broadcasts only grow the *origin vgroup's* log,
+        # so drive two broadcasts through ONE vgroup to cross the interval.
+        node = cluster.nodes["n0"]
+        co_member = next(m for m in sorted(node.vgroup_view.members) if m != "n0")
+        cluster.broadcast("n0", "a")
+        cluster.broadcast(co_member, "b")
+        cluster.run(until=20.0)
+        assert node.smr_stable_checkpoint() == 2
+        for member in node.vgroup_view.members:
+            assert cluster.nodes[member].smr_stable_checkpoint() == 2
+
+    def test_checkpoint_hint_from_non_co_member_is_ignored(self):
+        from repro.core.config import SmrKind
+
+        cluster = AtumCluster(
+            small_params().with_overrides(
+                smr_kind=SmrKind.ASYNC, checkpoint_interval=2
+            ),
+            seed=45,
+            antientropy=AntiEntropyConfig(),
+        )
+        cluster.build_static([f"n{i}" for i in range(12)])
+        cluster.run(until=1.0)
+        node = cluster.nodes["n0"]
+        outsider = next(
+            address
+            for address in sorted(cluster.nodes)
+            if address not in node.vgroup_view.member_set
+        )
+        before = cluster.sim.metrics.counter("smr.checkpoint.gap_hints")
+        node.on_checkpoint_hint(outsider, 99)
+        assert cluster.sim.metrics.counter("smr.checkpoint.gap_hints") == before
+
+
 class TestDeterminism:
     def test_antientropy_runs_are_replayable(self):
         def run():

@@ -869,15 +869,39 @@ class TestAgreementChecks:
 
 
 class TestScenarioMatrix:
-    def test_matrix_covers_at_least_eight_combinations(self):
-        assert len(SMALL_MATRIX) >= 8
+    def test_matrix_covers_at_least_twenty_combinations(self):
+        assert len(SMALL_MATRIX) >= 20
         combos = {(SCENARIOS[name].workload, SCENARIOS[name].plan) for name in SMALL_MATRIX}
-        assert len(combos) >= 8
+        assert len(combos) >= 14  # engine/checkpoint variants share a combo
         assert {SCENARIOS[name].workload for name in SMALL_MATRIX} == {
             "broadcast",
             "churn",
+            "churn_broadcast",
             "growth",
         }
+
+    def test_matrix_covers_checkpointing_and_churn_attacks(self):
+        # The PR-5 additions: checkpoint-enabled PBFT rows held to log
+        # equality, the adaptive join-leave attack, and anti-entropy racing
+        # continuous churn.
+        for name in (
+            "broadcast/isolated_catchup_pbft",
+            "broadcast/split_stall_pbft",
+            "broadcast/checkpoint_gc_pbft",
+            "broadcast/rejoin_attack",
+            "churn/antientropy",
+        ):
+            assert name in SMALL_MATRIX
+        for name in (
+            "broadcast/isolated_catchup_pbft",
+            "broadcast/split_stall_pbft",
+            "broadcast/checkpoint_gc_pbft",
+        ):
+            assert SCENARIOS[name].smr == "async"
+            assert SCENARIOS[name].checkpoint_interval > 0
+            assert SCENARIOS[name].delivery_bound == 1.0
+        assert SCENARIOS["broadcast/rejoin_attack"].attack_threshold == 0.0
+        assert SCENARIOS["churn/antientropy"].antientropy
 
     def test_matrix_covers_async_engine_splits_and_corruption(self):
         # The PR-4 additions: two-sided splits under both engines, a PBFT
@@ -925,6 +949,23 @@ class TestScenarioMatrix:
         assert row["violations"] == 0
         assert row["smr"] == "async"
         assert row["delivery_bound_met"]
+
+    @pytest.mark.parametrize(
+        "name", ["broadcast/isolated_catchup_pbft", "broadcast/checkpoint_gc_pbft"]
+    )
+    def test_checkpoint_scenarios_reach_log_equality(self, name):
+        # Checkpoint-enabled rows run the monitor's eventual-equality mode:
+        # zero violations here means every isolated/stalled replica closed
+        # its log gap through checkpoint announces + state transfer (or the
+        # announce tail signal), not merely that nothing diverged.
+        row = run_scenario(7, name)
+        assert row["violations"] == 0
+        assert row["checkpoint_interval"] > 0
+        assert row["delivery_bound_met"]
+        assert row["counters"]["smr.checkpoint.stable"] > 0
+        if name == "broadcast/checkpoint_gc_pbft":
+            # Sustained load actually exercised log GC.
+            assert row["counters"]["smr.checkpoint.slots_gc"] > 0
 
     @pytest.mark.parametrize(
         "name",

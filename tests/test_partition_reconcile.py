@@ -30,7 +30,7 @@ HEAL_AT = 6.0
 HORIZON = 45.0
 
 
-def run_reconcile(smr_kind: SmrKind, seed: int = 77):
+def run_reconcile(smr_kind: SmrKind, seed: int = 77, checkpoint_interval: int = 0):
     """One seeded 40-node split-and-reconcile run; returns its artefacts."""
     params = AtumParameters(
         hc=3,
@@ -39,6 +39,7 @@ def run_reconcile(smr_kind: SmrKind, seed: int = 77):
         gmin=4,
         round_duration=0.5,
         smr_kind=smr_kind,
+        checkpoint_interval=checkpoint_interval,
     )
     cluster = AtumCluster(params, seed=seed, antientropy=AntiEntropyConfig())
     monitor = InvariantMonitor()
@@ -97,6 +98,58 @@ class TestReconcileGolden:
         monitor.check_smr_prefix_consistency(cluster)
         monitor.finalize()
         monitor.assert_clean()
+
+
+class TestCheckpointedReconcileGolden:
+    """The 40-node split with PBFT checkpointing + state transfer enabled.
+
+    The same fault schedule as :class:`TestReconcileGolden`, but the bar
+    rises from prefix consistency to per-vgroup log *equality*: checkpoint
+    announces and state transfer must close every replica's gap, and the
+    whole run — recovery machinery included — must replay byte-identically.
+    Checkpointing stays off by default, so the legacy goldens above (and
+    the stored golden traces) are unaffected.
+    """
+
+    def test_checkpointed_run_replays_byte_identically(self):
+        first_cluster, _, _, first_trace = run_reconcile(
+            SmrKind.ASYNC, checkpoint_interval=2
+        )
+        second_cluster, _, _, second_trace = run_reconcile(
+            SmrKind.ASYNC, checkpoint_interval=2
+        )
+        assert first_trace == second_trace
+        assert dict(first_cluster.sim.metrics.counters) == dict(
+            second_cluster.sim.metrics.counters
+        )
+
+    def test_checkpointed_run_differs_from_legacy_but_default_stays_off(self):
+        _, _, _, legacy_trace = run_reconcile(SmrKind.ASYNC)
+        _, _, _, checkpointed_trace = run_reconcile(SmrKind.ASYNC, checkpoint_interval=2)
+        # Checkpointing schedules real extra protocol events...
+        assert checkpointed_trace != legacy_trace
+        # ...and a fresh default run still matches the legacy schedule
+        # exactly (interval 0 installs nothing).
+        _, _, _, default_trace = run_reconcile(SmrKind.ASYNC)
+        assert default_trace == legacy_trace
+
+    def test_checkpointed_run_reaches_log_equality_and_full_delivery(self):
+        cluster, monitor, ids, _ = run_reconcile(SmrKind.ASYNC, checkpoint_interval=2)
+        assert len(ids) == 4
+        for bcast_id in ids.values():
+            assert cluster.delivery_fraction(bcast_id) == 1.0, bcast_id
+        logs = cluster_smr_logs(cluster)
+        assert logs
+        for group_id, group_logs in logs.items():
+            assert check_agreement_logs(group_logs, require_equality=True) == [], group_id
+        monitor.check_smr_prefix_consistency(cluster, require_equality=True)
+        monitor.finalize()
+        monitor.assert_clean()
+        # Every vgroup's members agree on a stable checkpoint seq too.
+        checkpoints = cluster.smr_stable_checkpoints()
+        assert checkpoints
+        for group_id, per_member in checkpoints.items():
+            assert len(set(per_member.values())) == 1, (group_id, per_member)
 
 
 class TestHarnessAgreementUnderSplit:
