@@ -26,7 +26,8 @@ from repro.group.antientropy import AntiEntropyConfig
 from repro.group.vgroup import VGroupView
 from repro.net.latency import LanProfile, LatencyModel, WanProfile
 from repro.net.network import Network, NetworkConfig
-from repro.overlay.membership import MembershipEngine
+from repro.overlay.directory import MergeDecision, SplitBrainCoordinator
+from repro.overlay.membership import MembershipEngine, MembershipError
 from repro.sim.simulator import Simulator
 
 
@@ -90,6 +91,14 @@ class AtumCluster:
         # Every hook below is guarded by ``is not None`` so unmonitored runs
         # pay a single attribute check per membership event.
         self.monitor = None
+        # Split-brain bookkeeping (repro.overlay.directory): non-None only
+        # between cluster.split() and cluster.merge(); clusters that never
+        # split carry no coordinator and stay byte-identical.
+        self._split_brain: Optional[SplitBrainCoordinator] = None
+        self._split_brain_network_id: Optional[int] = None
+        # One record per completed reconciliation, for the invariant
+        # monitor's post-run directory-convergence check.
+        self._directory_reconciliations: List[Dict[str, Any]] = []
 
     def attach_monitor(self, monitor) -> None:
         """Attach a runtime invariant monitor (``repro.faults.invariants``).
@@ -208,15 +217,81 @@ class AtumCluster:
             for reporter, reported_at in suspicions.items()
             if now - reported_at <= window
         }
-        reporting = len(fresh.intersection(co_members))
+        reporters = sorted(fresh.intersection(co_members))
         required = len(co_members) // 2 + 1
-        if reporting < required:
+        if len(reporters) < required:
             return
         self._eviction_requests.add(peer)
         self._suspicions.pop(peer, None)
+        if self._split_brain is not None and not self._split_brain.record_eviction(
+            reporters, peer
+        ):
+            # Cross-side eviction during a split: the deciding side cannot
+            # reach the target *because of the split*, not because the
+            # target failed.  The conviction is recorded in the deciding
+            # side's directory and enforced at merge (evicted-on-either-
+            # side stays evicted) instead of dismantling overlay state the
+            # other side is actively using.
+            return
         if self.monitor is not None:
             self.monitor.on_eviction(peer)
         self.engine.leave(peer, eviction=True)
+
+    # --------------------------------------------------------------- split brain
+
+    def split(self, sides: Sequence[Iterable[str]]) -> int:
+        """Install a side-preserving split *with* per-side membership books.
+
+        Beyond the network-level split, this arms a
+        :class:`~repro.overlay.directory.SplitBrainCoordinator`: each side
+        keeps processing joins and evictions independently, cross-side
+        evictions are deferred, and :meth:`merge` reconciles the sides
+        deterministically at heal.  Returns the network split id.
+        """
+        frozen = [tuple(side) for side in sides]
+        split_id = self.network.split(frozen)
+        self._split_brain = SplitBrainCoordinator(self.sim, frozen)
+        self._split_brain_network_id = split_id
+        return split_id
+
+    def merge(self, split_id: Optional[int] = None) -> Optional[MergeDecision]:
+        """Heal the split and reconcile the per-side directories.
+
+        The merge is deterministic: evicted-on-either-side stays evicted
+        (still-member addresses in the merged eviction set are evicted
+        now), and joins are re-validated against the merged view — a
+        joiner convicted on the other side is revoked.  Returns the
+        :class:`~repro.overlay.directory.MergeDecision` (``None`` when no
+        coordinator was armed).
+        """
+        self.network.merge(
+            split_id if split_id is not None else self._split_brain_network_id
+        )
+        coordinator = self._split_brain
+        self._split_brain = None
+        self._split_brain_network_id = None
+        if coordinator is None:
+            return None
+        decision = coordinator.merge()
+        for address in sorted(decision.evicted):
+            self._eviction_requests.add(address)
+            if address not in self.engine.node_group:
+                continue
+            if self.monitor is not None:
+                self.monitor.on_eviction(address)
+            try:
+                self.engine.leave(address, eviction=True)
+            except MembershipError:
+                continue
+            self.sim.metrics.increment("directory.merge_evictions_enforced")
+        if decision.revoked:
+            self.sim.metrics.increment(
+                "directory.join_revalidations_revoked", len(decision.revoked)
+            )
+        self._directory_reconciliations.append(
+            {"sides": coordinator.side_snapshots(), "decision": decision}
+        )
+        return decision
 
     def crash(self, address: str) -> None:
         """Crash a node: it stops responding (and heartbeating) but is not yet evicted."""
@@ -388,6 +463,8 @@ class AtumCluster:
         return
 
     def _on_node_left(self, address: str) -> None:
+        if self._split_brain is not None:
+            self._split_brain.record_leave(address)
         node = self.nodes.get(address)
         if node is not None:
             node.clear_membership()
@@ -403,6 +480,26 @@ class AtumCluster:
         node = self.nodes.get(address)
         if node is not None and view is not None:
             node.install_view(view)
+        coordinator = self._split_brain
+        if coordinator is not None and view is not None:
+            # The join was processed by the side hosting the target group:
+            # bind the joiner there (network-level too, so its traffic
+            # respects the split like any physically-placed machine's).
+            sides = [
+                s
+                for s in (
+                    coordinator.side_of(m) for m in sorted(view.members) if m != address
+                )
+                if s is not None
+            ]
+            host_side = None
+            if sides:
+                host_side = max(sorted(set(sides)), key=sides.count)
+            bound = coordinator.record_join(address, host_side)
+            if bound is not None and self._split_brain_network_id is not None:
+                self.network.bind_to_split(
+                    self._split_brain_network_id, address, bound
+                )
 
 
 __all__ = ["AtumCluster"]

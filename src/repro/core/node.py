@@ -28,15 +28,18 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import AtumParameters, SmrKind
 from repro.crypto.keys import KeyRegistry
+from repro.faults.plan import RESPONDER_BEHAVIOURS
 from repro.group.antientropy import AntiEntropyConfig, AntiEntropyRepair
 from repro.group.heartbeat import Heartbeat, HeartbeatConfig, HeartbeatMonitor
 from repro.group.messages import GroupMessageEnvelope, GroupMessenger, NodeBinding
 from repro.group.vgroup import VGroupView
 from repro.net.message import CorruptedPayload
 from repro.net.network import Network
+from repro.net.requests import RequestEnvelope
 from repro.sim.actor import Actor
 from repro.sim.simulator import Simulator
 from repro.smr.base import Operation, SmrReplica
+from repro.smr.checkpoint import StateTransferRequest, StateTransferResponse
 from repro.smr.dolev_strong import SyncSmrReplica
 from repro.smr.pbft import PbftReplica
 
@@ -107,7 +110,14 @@ class AtumNode(Actor):
             disjoint halves of the destination vgroup, or ``"rejoin_attack"``
             for a member of the adaptive join-leave coalition (silent on the
             protocol; its strategic leave/re-join schedule is driven by the
-            fault controller).
+            fault controller).  The responder behaviours (``"stonewall"``,
+            ``"slow_drip"``, ``"garbage_serve"``, ``"stale_cert"``) attack
+            only the state-transfer serving path: the node participates
+            normally everywhere else — crucially it signs checkpoints, so
+            it legitimately enters the certifier rotation recovering
+            replicas fetch state from — and stonewalls, drip-feeds,
+            tampers or stales its transfer responses (see
+            :data:`repro.faults.plan.RESPONDER_BEHAVIOURS`).
     """
 
     def __init__(
@@ -365,7 +375,17 @@ class AtumNode(Actor):
         if isinstance(payload, SmrEnvelope):
             if self.replica is not None and self.vgroup_view is not None:
                 if payload.group_id == self.vgroup_view.group_id:
-                    self.replica.on_message(payload.payload, sender)
+                    inner = payload.payload
+                    if (
+                        self.byzantine in RESPONDER_BEHAVIOURS
+                        and isinstance(inner, RequestEnvelope)
+                        and inner.kind == "ckpt.transfer"
+                    ):
+                        # The responder adversary hijacks exactly one
+                        # protocol surface: serving state transfers.
+                        self._serve_adversarial_transfer(inner, sender)
+                        return
+                    self.replica.on_message(inner, sender)
             return
         if isinstance(payload, GroupMessageEnvelope):
             self.messenger.handle(payload, sender)
@@ -384,10 +404,90 @@ class AtumNode(Actor):
         return VGroupView.create(f"solo-{self.address}", [self.address])
 
     def _send_smr(self, peer: str, payload: Any, size_bytes: int) -> None:
-        if self.byzantine is not None:
+        if self.byzantine is not None and self.byzantine not in RESPONDER_BEHAVIOURS:
+            # Responder adversaries stay live on the SMR wire — their whole
+            # attack depends on participating (voting, signing checkpoints)
+            # well enough to be selected as a transfer server.
             return
         group_id = self.group_id() or ""
         self.network.send(self.address, peer, SmrEnvelope(group_id=group_id, payload=payload), size_bytes)
+
+    def _serve_adversarial_transfer(self, envelope: RequestEnvelope, sender: str) -> None:
+        """Serve a state-transfer request in this node's adversarial style.
+
+        All four responder behaviours stay within what a Byzantine server
+        can actually do: none can forge a certificate (2f+1 signatures)
+        or make a tampered body verify, so the attacks are confined to
+        withholding (``stonewall``), timing (``slow_drip``), rejectable
+        garbage (``garbage_serve``) and genuinely old-but-signed answers
+        (``stale_cert``).  The requester's scoreboard + rotation is what
+        bounds the resulting catch-up latency inflation.
+        """
+        replica = self.replica
+        manager = getattr(replica, "checkpoints", None)
+        if manager is None:
+            return
+        metrics = self.sim.metrics
+        behaviour = self.byzantine
+        if behaviour == "stonewall":
+            metrics.increment("faults.transfer_stonewalled")
+            return
+        request = envelope.payload
+        if not isinstance(request, StateTransferRequest):
+            return
+        if behaviour == "slow_drip":
+            response = manager.build_state_response(request, sender)
+            if response is None:
+                return
+            # Reply *correctly* but only just inside the requester's
+            # deadline: no rejectable evidence, maximal waiting.  The
+            # margin absorbs typical network latency; a drip that still
+            # lands late degenerates into a scored timeout.
+            delay = envelope.deadline - self.sim.now - 0.25
+            if delay <= 0.0:
+                metrics.increment("faults.transfer_stonewalled")
+                return
+            metrics.increment("faults.transfer_slow_dripped")
+            self.sim.schedule(
+                delay,
+                lambda: manager.respond_transfer(envelope, response),
+                tag=f"{self.address}:slow-drip",
+            )
+            return
+        if behaviour == "garbage_serve":
+            response = manager.build_state_response(request, sender)
+            if response is None:
+                return
+            # Well-formed but digest-mismatched: every operation body is
+            # wrapped, so the chained state digest cannot reproduce.
+            tampered = replace(
+                response,
+                operations=tuple(
+                    replace(op, body=("garbage", op.body)) for op in response.operations
+                ),
+            )
+            metrics.increment("faults.transfer_garbage_served")
+            manager.respond_transfer(envelope, tampered)
+            return
+        if behaviour == "stale_cert":
+            old = manager.previous_stable
+            if old is None:
+                # Nothing genuinely old to serve yet; withhold instead.
+                metrics.increment("faults.transfer_stonewalled")
+                return
+            operations = (
+                tuple(replica.decided_log[request.have_count : old.seq])
+                if old.seq > request.have_count
+                else ()
+            )
+            stale = StateTransferResponse(
+                epoch=replica.epoch,
+                certificate=old,
+                base_count=request.have_count,
+                operations=operations,
+            )
+            metrics.increment("faults.transfer_stale_served")
+            manager.respond_transfer(envelope, stale)
 
     def _on_smr_decide(self, operation: Operation) -> None:
         if operation.kind == "broadcast" and isinstance(operation.body, BroadcastMessage):

@@ -9,6 +9,8 @@ FaultPlan` into scheduled simulator events against an
   its ``split``/``merge`` side-aware routing;
 * link faults install a :class:`~repro.faults.injector.LinkFaultInjector`
   on the network;
+* group slowdowns install a ``cost_perturbation`` hook on the membership
+  engine, stretching straggler vgroups' operation durations;
 * node faults flip node behaviours on schedule — crash (+ recovery), silent,
   mute, the §6.1.3 evict-proposing adversary (periodic eviction proposals
   against correct vgroup peers, driven here because a heartbeat-only node
@@ -75,17 +77,26 @@ class FaultController:
                 # other partitions.
                 handle: Dict[str, int] = {}
 
-                def form_split(partition=partition, handle=handle) -> None:
-                    handle["id"] = cluster.network.split(partition.sides)
+                # Clusters route splits through their split-brain
+                # coordinator (per-side membership directories + merge
+                # reconciliation); bare network harnesses fall back to the
+                # network-level machinery.
+                split_fn = getattr(cluster, "split", None) or cluster.network.split
+                merge_fn = getattr(cluster, "merge", None) or cluster.network.merge
+
+                def form_split(
+                    partition=partition, handle=handle, split_fn=split_fn
+                ) -> None:
+                    handle["id"] = split_fn(partition.sides)
                     sim.metrics.increment("faults.partitions_formed")
 
                 self._at(partition.start, form_split, tag="faults.partition")
                 if partition.heal_at is not None:
 
-                    def heal_split(handle=handle) -> None:
+                    def heal_split(handle=handle, merge_fn=merge_fn) -> None:
                         split_id = handle.pop("id", None)
                         if split_id is not None:
-                            cluster.network.merge(split_id)
+                            merge_fn(split_id)
                         sim.metrics.increment("faults.partitions_healed")
 
                     self._at(partition.heal_at, heal_split, tag="faults.heal")
@@ -123,6 +134,9 @@ class FaultController:
             self.injector = LinkFaultInjector(sim, self.plan.links)
             cluster.network.install_fault_injector(self.injector)
 
+        if self.plan.slowdowns:
+            self._install_slowdowns()
+
         for node_fault in self.plan.nodes:
             self._at(
                 node_fault.start,
@@ -136,6 +150,37 @@ class FaultController:
                     tag="faults.recover",
                 )
         return self
+
+    # -------------------------------------------------------------- slowdowns
+
+    def _install_slowdowns(self) -> None:
+        """Install the straggler-vgroup hook on the membership engine.
+
+        Composes every applicable :class:`~repro.faults.plan.GroupSlowdown`
+        multiplicatively per reservation and observes the added latency as
+        ``membership.slowdown_penalty`` (the matrix reports its mean/max as
+        the straggler-induced operation-latency penalty).  Chains any
+        pre-existing hook rather than replacing it.
+        """
+        engine = self.cluster.engine
+        sim = self.cluster.sim
+        slowdowns = self.plan.slowdowns
+        inner = engine.cost_perturbation
+
+        def perturb(group_id: str, duration: float) -> float:
+            if inner is not None:
+                duration = inner(group_id, duration)
+            factor = 1.0
+            for slowdown in slowdowns:
+                if slowdown.applies(group_id, sim.now):
+                    factor *= slowdown.factor
+            if factor > 1.0:
+                penalty = duration * (factor - 1.0)
+                sim.metrics.observe("membership.slowdown_penalty", penalty)
+                return duration * factor
+            return duration
+
+        engine.cost_perturbation = perturb
 
     # ------------------------------------------------------------- behaviours
 

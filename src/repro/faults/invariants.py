@@ -20,6 +20,10 @@ runs* rather than after the fact:
 * **Group-size bounds** — every installed view respects the logarithmic
   grouping bounds (``gmin``/``gmax`` with the documented merge transient),
   and view epochs never move backwards.
+* **Directory convergence** — after a split-brain heal, the merge decision
+  the cluster enforced equals the one recomputed from the recorded per-side
+  directories, and no address evicted on either side remains a member
+  (see :mod:`repro.overlay.directory`).
 
 Checks are pure observation: they draw no randomness, schedule no events and
 never mutate protocol state, so an attached monitor cannot change a run's
@@ -322,6 +326,7 @@ class InvariantMonitor:
                 self._violation(
                     "evicted_readmitted", address, "evicted identity is a member at finalize"
                 )
+        self._check_directory_reconciliations(engine)
         if self.config.check_final_bounds:
             gmin, gmax = engine.config.gmin, engine.config.gmax
             for group_id, view in engine.groups.items():
@@ -334,6 +339,58 @@ class InvariantMonitor:
                         "final_group_size", group_id, f"settled at size {view.size} < gmin={gmin}"
                     )
         return self.violations
+
+    def _check_directory_reconciliations(self, engine) -> None:
+        """Replay split-brain merges recorded by the cluster.
+
+        Two invariants per reconciliation (see
+        :mod:`repro.overlay.directory`):
+
+        * **directory_divergence** — the merge decision the cluster enforced
+          must equal the one recomputed from the recorded per-side
+          directories (the merge is a pure function of the side sets, so a
+          mismatch means a side's log and the enforced outcome disagree).
+        * **evicted_readmitted_across_sides** — an address evicted on either
+          side must not be a member after the heal; a cross-side deferral
+          that never gets enforced at merge would surface here.
+        """
+        reconciliations = getattr(self._cluster, "_directory_reconciliations", None)
+        if not reconciliations:
+            return
+        from repro.overlay.directory import SideDirectory, merge_directories
+
+        for record in reconciliations:
+            self.checks_run += 1
+            sides = [
+                SideDirectory(
+                    side_index=snapshot["side_index"],
+                    members=frozenset(snapshot["members"]),
+                    joined=set(snapshot["joined"]),
+                    left=set(snapshot["left"]),
+                    evicted=set(snapshot["evicted"]),
+                )
+                for snapshot in record["sides"]
+            ]
+            recomputed = merge_directories(sides)
+            decision = record["decision"]
+            if (
+                recomputed.evicted != decision.evicted
+                or recomputed.admitted != decision.admitted
+                or recomputed.revoked != decision.revoked
+            ):
+                self._violation(
+                    "directory_divergence",
+                    "merge",
+                    f"enforced merge decision {decision} differs from the decision "
+                    f"recomputed over the recorded side directories {recomputed}",
+                )
+            for address in sorted(decision.evicted):
+                if address in engine.node_group:
+                    self._violation(
+                        "evicted_readmitted_across_sides",
+                        address,
+                        "evicted on one split side but still a member after the heal",
+                    )
 
     def assert_clean(self) -> None:
         """Raise ``AssertionError`` with a readable report unless violation-free."""

@@ -48,7 +48,40 @@ from typing import FrozenSet, Optional, Tuple
 #:   Protocol-wise the node behaves like ``"silent"`` (heartbeats only);
 #:   the leave/re-join schedule is driven by
 #:   :class:`repro.faults.behaviours.FaultController` at ``attack_period``.
-NODE_BEHAVIOURS = ("crash", "silent", "mute", "evict_attack", "equivocate", "rejoin_attack")
+#:
+#: The four *responder* behaviours attack the recovery path instead of the
+#: dissemination path: the node participates in every protocol normally —
+#: it heartbeats, gossips, votes, signs checkpoints (so it legitimately
+#: enters the certifier rotation recovering replicas fetch state from) —
+#: and misbehaves only when serving a state-transfer request:
+#:
+#: * ``"stonewall"`` — accepts transfer requests and never replies, burning
+#:   one full request-layer timeout per attempt.
+#: * ``"slow_drip"`` — replies *correctly* but just inside the request's
+#:   deadline, maximising latency without ever producing rejectable
+#:   evidence.
+#: * ``"garbage_serve"`` — replies promptly with a well-formed response
+#:   whose operation bodies are tampered: the certified digest check
+#:   rejects it (``smr.checkpoint.rejected_digest_mismatch``).
+#: * ``"stale_cert"`` — serves the *previous* stable certificate: a
+#:   genuinely signed but useless answer (stonewalls when no older
+#:   certificate exists yet).
+NODE_BEHAVIOURS = (
+    "crash",
+    "silent",
+    "mute",
+    "evict_attack",
+    "equivocate",
+    "rejoin_attack",
+    "stonewall",
+    "slow_drip",
+    "garbage_serve",
+    "stale_cert",
+)
+
+#: The subset of :data:`NODE_BEHAVIOURS` that attacks state-transfer
+#: serving while participating normally in every other protocol.
+RESPONDER_BEHAVIOURS = ("stonewall", "slow_drip", "garbage_serve", "stale_cert")
 
 
 @dataclass(frozen=True)
@@ -204,6 +237,44 @@ class NodeFault:
 
 
 @dataclass(frozen=True)
+class GroupSlowdown:
+    """Straggler vgroups: stretch membership-operation durations.
+
+    Models slow vgroups (overloaded hosts, cross-datacenter members) whose
+    agreement and state-transfer steps take ``factor`` times longer than the
+    cost model predicts, within a time window.  Installed as the membership
+    engine's ``cost_perturbation`` hook by
+    :class:`repro.faults.behaviours.FaultController`; the added latency is
+    observed as ``membership.slowdown_penalty`` so scenario rows can report
+    the straggler-induced operation-latency penalty.
+
+    Attributes:
+        groups: Vgroup ids to slow down (empty = every vgroup).
+        factor: Duration multiplier (``>= 1``).
+        start: Window start (inclusive).
+        stop: Window end (exclusive; ``inf`` = forever).
+    """
+
+    groups: Tuple[str, ...] = ()
+    factor: float = 2.0
+    start: float = 0.0
+    stop: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if self.start < 0.0:
+            raise ValueError("start must be non-negative")
+        if self.stop <= self.start:
+            raise ValueError("stop must be after start")
+
+    def applies(self, group_id: str, now: float) -> bool:
+        if now < self.start or now >= self.stop:
+            return False
+        return not self.groups or group_id in self.groups
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable, composable bundle of faults applied to one run.
 
@@ -215,9 +286,10 @@ class FaultPlan:
     partitions: Tuple[Partition, ...] = ()
     links: Tuple[LinkFault, ...] = ()
     nodes: Tuple[NodeFault, ...] = ()
+    slowdowns: Tuple[GroupSlowdown, ...] = ()
 
     def is_empty(self) -> bool:
-        return not (self.partitions or self.links or self.nodes)
+        return not (self.partitions or self.links or self.nodes or self.slowdowns)
 
     def faulted_addresses(self) -> FrozenSet[str]:
         """Every address named by a partition or node fault.
@@ -255,10 +327,19 @@ class FaultPlan:
             partitions=self.partitions + other.partitions,
             links=self.links + other.links,
             nodes=self.nodes + other.nodes,
+            slowdowns=self.slowdowns + other.slowdowns,
         )
 
     def __add__(self, other: "FaultPlan") -> "FaultPlan":
         return self.compose(other)
 
 
-__all__ = ["FaultPlan", "Partition", "LinkFault", "NodeFault", "NODE_BEHAVIOURS"]
+__all__ = [
+    "FaultPlan",
+    "Partition",
+    "LinkFault",
+    "NodeFault",
+    "GroupSlowdown",
+    "NODE_BEHAVIOURS",
+    "RESPONDER_BEHAVIOURS",
+]

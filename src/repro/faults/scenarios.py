@@ -33,13 +33,20 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.robustness import scenario_robustness_row
+from repro.analysis.robustness import catchup_latency_bound, scenario_robustness_row
 from repro.core.cluster import AtumCluster
 from repro.core.config import AtumParameters, SmrKind
 from repro.faults.behaviours import apply_plan
 from repro.faults.invariants import InvariantMonitor
-from repro.faults.plan import FaultPlan, LinkFault, NodeFault, Partition
+from repro.faults.plan import (
+    FaultPlan,
+    GroupSlowdown,
+    LinkFault,
+    NodeFault,
+    Partition,
+)
 from repro.group.antientropy import AntiEntropyConfig
+from repro.net.requests import RequestPolicy
 from repro.sim.rng import derive_seed
 from repro.sim.runpar import merge_shards, run_sharded
 from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
@@ -76,6 +83,14 @@ class Scenario:
             Checkpoint-enabled async broadcast scenarios are held to
             per-vgroup log **equality** (not just prefix consistency) at
             quiescence — the liveness bound state transfer restores.
+        catchup_bound: Maximum allowed ``smr.checkpoint.catchup_latency``
+            (simulated seconds from a replica first requesting state
+            transfer to its log gap closing).  Checked against the run's
+            *maximum* observed catch-up latency and folded into the bound
+            check; a vacuous run (no replica ever caught up) fails the
+            bound.  ``None`` skips it.  The Byzantine-responder scenarios
+            pair this empirical bound with the analytical
+            :func:`repro.analysis.robustness.catchup_latency_bound` column.
         attack_threshold: For join-leave attack scenarios: the maximum
             per-vgroup *threshold excess* (coalition members minus the
             group's ``(size - 1) // 2`` strict-minority bound) the attack
@@ -106,6 +121,7 @@ class Scenario:
     smr: str = "sync"
     antientropy: bool = False
     checkpoint_interval: int = 0
+    catchup_bound: Optional[float] = None
     attack_threshold: Optional[float] = None
     gmin: int = 3
     gmax: int = 6
@@ -303,6 +319,145 @@ def _plan_crash_recover(
     )
 
 
+def _plan_byz_transfer(
+    scenario: Scenario,
+    cluster: AtumCluster,
+    rng: random.Random,
+    behaviours: Tuple[str, ...],
+) -> FaultPlan:
+    """Recovering laggards vs adversarial state-transfer servers.
+
+    Two composed ingredients: a per-vgroup strict minority of *responder*
+    adversaries (``fault_fraction``; they participate normally in every
+    protocol and misbehave only when serving ``ckpt.transfer`` requests),
+    plus a 15% laggard partition that heals mid-run — the laggards then
+    must close their log gaps by fetching checkpointed state from signer
+    sets that contain the adversaries.  Laggards are drawn outside the
+    responder set so every recovering replica is correct.
+    """
+    views = sorted(cluster.engine.groups.values(), key=lambda view: view.group_id)
+    responders = select_byzantine_per_group(views, scenario.fault_fraction, rng)
+    node_faults = tuple(
+        NodeFault(
+            address=address, behaviour=behaviours[index % len(behaviours)], start=0.0
+        )
+        for index, address in enumerate(responders)
+    )
+    taken = set(responders)
+    candidates = [a for a in sorted(cluster.engine.node_group) if a not in taken]
+    count = max(1, int(math.floor(0.15 * len(cluster.engine.node_group))))
+    laggards = tuple(sorted(rng.sample(candidates, min(count, len(candidates)))))
+    # The laggard partition must outlast the broadcast injection window:
+    # only then do the laggards fall multiple checkpoint intervals behind
+    # and have to recover through *state transfer* (the path under attack)
+    # rather than a cheap tail view change.
+    heal_at = max(4.0, scenario.broadcasts * scenario.interval + 2.0)
+    return FaultPlan(
+        partitions=(Partition(members=laggards, start=0.6, heal_at=heal_at),),
+        nodes=node_faults,
+    )
+
+
+def _plan_byz_transfer_stonewall(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return _plan_byz_transfer(scenario, cluster, rng, ("stonewall",))
+
+
+def _plan_byz_transfer_slow_drip(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    return _plan_byz_transfer(scenario, cluster, rng, ("slow_drip",))
+
+
+def _plan_byz_transfer_garbage(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Alternates garbage servers and stale-certificate servers."""
+    return _plan_byz_transfer(scenario, cluster, rng, ("garbage_serve", "stale_cert"))
+
+
+def _plan_split_brain_directory(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Vgroup-aligned split with one displaced straddler.
+
+    The sides follow vgroup boundaries — each side stays a healthy
+    sub-system processing its own membership traffic — except for one
+    *displaced* node stranded on the side opposite its vgroup.  Its
+    co-members (all on the other side) stop hearing its heartbeats, form
+    an eviction majority, and the eviction is necessarily **cross-side**:
+    the split-brain coordinator defers it into the deciding side's
+    directory and the merge must enforce it at heal (evicted-on-either-
+    side stays evicted), which is exactly what the directory-convergence
+    invariants check.
+    """
+    views = sorted(cluster.engine.groups.values(), key=lambda view: view.group_id)
+    half = max(1, len(views) // 2)
+    side_a: set = set()
+    for view in views[:half]:
+        side_a.update(view.members)
+    side_b: set = set()
+    for view in views[half:]:
+        side_b.update(view.members)
+    if side_b:
+        displaced = min(side_a)
+        side_a.discard(displaced)
+        side_b.add(displaced)
+    else:
+        # Degenerate single-group system: fall back to a plain bisection.
+        members = sorted(side_a)
+        side_a, side_b = set(members[: len(members) // 2]), set(members[len(members) // 2 :])
+    return FaultPlan(
+        partitions=(
+            Partition(
+                sides=(tuple(sorted(side_a)), tuple(sorted(side_b))),
+                start=5.0,
+                heal_at=25.0,
+            ),
+        )
+    )
+
+
+def _plan_rejoin_eviction(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """The join-leave coalition racing the live eviction pipeline.
+
+    Composes the §3.2 rejoin attack with a wave of crash faults on
+    non-coalition nodes: heartbeat majorities must evict the crashed nodes
+    (and keep them out when they recover under evicted identities) while
+    the coalition's strategic churn keeps reshaping the very vgroups doing
+    the evicting.
+    """
+    plan = _plan_rejoin_attack(scenario, cluster, rng)
+    coalition = {node_fault.address for node_fault in plan.nodes}
+    candidates = [a for a in sorted(cluster.engine.node_group) if a not in coalition]
+    count = max(1, int(math.floor(0.08 * len(cluster.engine.node_group))))
+    crashed = sorted(rng.sample(candidates, min(count, len(candidates))))
+    return plan + FaultPlan(
+        nodes=tuple(
+            NodeFault(address=address, behaviour="crash", start=5.0, stop=60.0)
+            for address in crashed
+        )
+    )
+
+
+def _plan_slow_vgroup(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Straggler vgroups: ``fault_fraction`` of the initial groups run 3x slow.
+
+    Group ids are sampled from the t=0 grouping; ids retired by later
+    merges simply stop matching, which is the honest model — a straggler
+    that gets absorbed stops being a straggler.
+    """
+    group_ids = sorted(cluster.engine.groups)
+    count = max(1, int(math.floor(scenario.fault_fraction * len(group_ids))))
+    chosen = tuple(sorted(rng.sample(group_ids, min(count, len(group_ids)))))
+    return FaultPlan(slowdowns=(GroupSlowdown(groups=chosen, factor=3.0),))
+
+
 def _plan_kitchen_sink(
     scenario: Scenario, cluster: AtumCluster, rng: random.Random
 ) -> FaultPlan:
@@ -328,6 +483,12 @@ PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultP
     "rejoin_attack": _plan_rejoin_attack,
     "crash_recover": _plan_crash_recover,
     "kitchen_sink": _plan_kitchen_sink,
+    "byz_transfer_stonewall": _plan_byz_transfer_stonewall,
+    "byz_transfer_slow_drip": _plan_byz_transfer_slow_drip,
+    "byz_transfer_garbage": _plan_byz_transfer_garbage,
+    "split_brain_directory": _plan_split_brain_directory,
+    "rejoin_eviction": _plan_rejoin_eviction,
+    "slow_vgroup": _plan_slow_vgroup,
 }
 
 
@@ -388,6 +549,61 @@ def _default_scenarios() -> Dict[str, Scenario]:
             smr="async",
             checkpoint_interval=2,
             settle_time=50.0,
+            # The unfaulted baseline for catch-up latency: every transfer
+            # is served by a correct responder on the first attempt.
+            catchup_bound=15.0,
+        ),
+        # Byzantine state-transfer servers (the adversarial-recovery trio):
+        # a per-vgroup minority of responders participates normally in
+        # every protocol — so they legitimately enter the certifier sets
+        # recovering replicas fetch state from — and attacks only the
+        # serving path.  The request layer's rotation + scoreboard must
+        # keep catch-up latency inside ``catchup_bound`` (the analytical
+        # rotation bound is reported next to it as ``catchup_theory``),
+        # and the equality bar still holds: every correct laggard closes
+        # its gap despite stonewalling, deadline-grazing slow-drips,
+        # tampered operation bodies or stale certificates.
+        Scenario(
+            name="broadcast/byz_transfer_stonewall",
+            workload="broadcast",
+            plan="byz_transfer_stonewall",
+            fault_fraction=0.34,
+            broadcasts=48,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=60.0,
+            catchup_bound=30.0,
+        ),
+        Scenario(
+            name="broadcast/byz_transfer_slow_drip",
+            workload="broadcast",
+            plan="byz_transfer_slow_drip",
+            fault_fraction=0.34,
+            broadcasts=48,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=60.0,
+            catchup_bound=30.0,
+        ),
+        Scenario(
+            name="broadcast/byz_transfer_garbage",
+            workload="broadcast",
+            plan="byz_transfer_garbage",
+            fault_fraction=0.34,
+            broadcasts=48,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=60.0,
+            catchup_bound=30.0,
         ),
         Scenario(
             name="broadcast/split_stall_pbft",
@@ -496,6 +712,44 @@ def _default_scenarios() -> Dict[str, Scenario]:
             antientropy=True,
             attack_threshold=0.0,
         ),
+        # Split-brain membership reconciliation: a vgroup-aligned split with
+        # one displaced straddler.  Each side keeps processing membership
+        # traffic; the straddler's co-members (all on the other side) form
+        # an eviction majority whose execution must be *deferred* as a
+        # cross-side eviction and enforced at the heal's directory merge —
+        # the directory-convergence invariants replay the merge decision.
+        Scenario(
+            name="broadcast/split_brain_directory",
+            workload="broadcast",
+            plan="split_brain_directory",
+            heartbeats=True,
+            antientropy=True,
+            settle_time=45.0,
+            # The displaced straddler's vgroup loses a member mid-run and
+            # the split covers everyone for 20 simulated seconds, so the
+            # delivery bound is necessarily loose; the scenario's real
+            # assertions are the directory invariants.
+            delivery_bound=0.5,
+        ),
+        # The join-leave coalition racing the live eviction pipeline
+        # (rejoin_attack × crash-driven evictions), in the paper's vgroup
+        # regime.  The coalition must stay a strict minority everywhere
+        # while heartbeat majorities evict crashed nodes and keep them out
+        # after recovery.
+        Scenario(
+            name="broadcast/rejoin_eviction",
+            workload="broadcast",
+            plan="rejoin_eviction",
+            nodes=50,
+            fault_fraction=0.08,
+            gmin=6,
+            gmax=12,
+            heartbeats=True,
+            settle_time=120.0,
+            delivery_bound=0.7,
+            antientropy=True,
+            attack_threshold=0.0,
+        ),
         Scenario(name="churn/none", workload="churn", plan="none", nodes=40),
         # Anti-entropy racing continuous churn: repair runs while vgroups
         # split, merge and shuffle under it, with broadcasts interleaved so
@@ -525,6 +779,17 @@ def _default_scenarios() -> Dict[str, Scenario]:
             nodes=40,
             fault_fraction=0.1,
             heartbeats=True,
+        ),
+        # Straggler vgroups under continuous churn: a quarter of the t=0
+        # vgroups execute membership agreements 3x slower.  Churn must
+        # still complete (slow, not stuck) and the row reports the
+        # straggler-induced operation-latency penalty.
+        Scenario(
+            name="churn/slow_vgroup",
+            workload="churn",
+            plan="slow_vgroup",
+            nodes=40,
+            fault_fraction=0.25,
         ),
         Scenario(name="growth/none", workload="growth", plan="none", nodes=12),
         Scenario(
@@ -627,6 +892,63 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
             smr="async",
             checkpoint_interval=2,
         ),
+        # Deployment-scale adversarial recovery: hundreds of laggards catch
+        # up through signer sets salted with stonewalling responders; the
+        # rotation bound must hold at scale.
+        Scenario(
+            name="nightly/byzantine_transfer",
+            workload="broadcast",
+            plan="byz_transfer_stonewall",
+            nodes=nodes,
+            fault_fraction=0.34,
+            # Heavy injection: with ~N/4.5 vgroups, a thin workload leaves
+            # most laggard groups without a certified checkpoint to
+            # transfer, and the catch-up bound would fail vacuously.
+            broadcasts=160,
+            interval=0.1,
+            settle_time=80.0,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            catchup_bound=40.0,
+        ),
+        # Deployment-scale split-brain reconciliation: vgroup-aligned
+        # sides, a displaced straddler, deferred cross-side eviction
+        # enforced by the directory merge at heal.
+        Scenario(
+            name="nightly/split_brain_directory",
+            workload="broadcast",
+            plan="split_brain_directory",
+            nodes=nodes,
+            heartbeats=True,
+            broadcasts=8,
+            settle_time=60.0,
+            delivery_bound=0.5,
+            antientropy=True,
+        ),
+        # Deployment-scale rejoin × eviction-pipeline race.  Unlike the
+        # small-matrix row (threshold 0), the composed eviction wave may
+        # transiently concentrate the coalition one past the strict
+        # minority: evicting crashed *correct* members tightens the
+        # (size-1)//2 threshold while the undersized vgroup awaits its
+        # merge.  Excess 1 still keeps the coalition below every eviction
+        # majority; anything beyond fails the run.
+        Scenario(
+            name="nightly/rejoin_eviction",
+            workload="broadcast",
+            plan="rejoin_eviction",
+            nodes=nodes,
+            fault_fraction=0.05,
+            gmin=6,
+            gmax=12,
+            heartbeats=True,
+            broadcasts=8,
+            settle_time=120.0,
+            delivery_bound=0.7,
+            antientropy=True,
+            attack_threshold=1.0,
+        ),
         # Deployment-scale join-leave attack: the coalition must never
         # outgrow any vgroup's strict minority despite hundreds of
         # strategic re-join attempts.
@@ -656,13 +978,42 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
 #: importing this module never consults the environment (a malformed
 #: ``ATUM_BENCH_SCALE`` should fail the *run*, not the import).
 NIGHTLY_MATRIX: List[str] = [
+    "nightly/byzantine_transfer",
     "nightly/checkpoint_catchup",
     "nightly/partition_heal",
     "nightly/rejoin_attack",
+    "nightly/rejoin_eviction",
     "nightly/silent_minority",
+    "nightly/split_brain_directory",
     "nightly/two_sided_split",
     "nightly/two_sided_split_pbft",
 ]
+
+
+def _catchup_theory_for(scenario: Scenario) -> Optional[Dict[str, float]]:
+    """The analytical rotation bound for Byzantine-responder scenarios.
+
+    Worst case per vgroup: the per-group adversary quota
+    ``min(floor(fraction * gmax), (gmax - 1) // 2)`` responders all queried
+    before the first correct server, each burning one (backed-off, jittered)
+    request timeout.  Pure function of the scenario so matrix rows can carry
+    it without re-running anything.
+    """
+    if not scenario.plan.startswith("byz_transfer"):
+        return None
+    policy = RequestPolicy()
+    quota = min(
+        int(math.floor(scenario.fault_fraction * scenario.gmax)),
+        (scenario.gmax - 1) // 2,
+    )
+    return catchup_latency_bound(
+        group_size=scenario.gmax,
+        byzantine_responders=quota,
+        base_timeout=policy.base_timeout,
+        backoff_factor=policy.backoff_factor,
+        max_timeout=policy.max_timeout,
+        jitter=policy.jitter,
+    )
 
 
 def _correct_origin_fractions(
@@ -867,6 +1218,20 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         )
         delivery_bound_met = delivery_bound_met and attack_bound_met
 
+    catchup_hist = metrics.histogram("smr.checkpoint.catchup_latency")
+    catchup_latency_mean = catchup_hist.mean if catchup_hist.count else None
+    catchup_latency_max = catchup_hist.maximum if catchup_hist.count else None
+    catchup_bound_met: Optional[bool] = None
+    if scenario.catchup_bound is not None:
+        # A run in which no replica ever completed a catch-up has not
+        # demonstrated the bound — vacuous runs fail it.
+        catchup_bound_met = (
+            catchup_latency_max is not None
+            and catchup_latency_max <= scenario.catchup_bound
+        )
+        delivery_bound_met = delivery_bound_met and catchup_bound_met
+    slowdown_hist = metrics.histogram("membership.slowdown_penalty")
+
     return {
         "scenario": scenario.name,
         "workload": scenario.workload,
@@ -878,6 +1243,13 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         "attack_bound_met": attack_bound_met,
         "rejoin_max_group_fraction": rejoin_max_fraction,
         "rejoin_max_threshold_excess": rejoin_max_excess,
+        "catchup_bound": scenario.catchup_bound,
+        "catchup_bound_met": catchup_bound_met,
+        "catchup_latency_mean": catchup_latency_mean,
+        "catchup_latency_max": catchup_latency_max,
+        "catchup_theory": _catchup_theory_for(scenario),
+        "slowdown_penalty_mean": slowdown_hist.mean if slowdown_hist.count else None,
+        "slowdown_penalty_max": slowdown_hist.maximum if slowdown_hist.count else None,
         "seed": seed,
         "system_size": cluster.engine.system_size,
         "group_count": cluster.engine.group_count,
@@ -925,6 +1297,43 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
                 "smr.checkpoint.tail_view_changes"
             ),
             "smr.checkpoint.rejected": metrics.counter("smr.checkpoint.rejected"),
+            "smr.checkpoint.state_requests": metrics.counter(
+                "smr.checkpoint.state_requests"
+            ),
+            "req.sent": metrics.counter("req.sent"),
+            "req.completed": metrics.counter("req.completed"),
+            "req.timeouts": metrics.counter("req.timeouts"),
+            "req.garbage_replies": metrics.counter("req.garbage_replies"),
+            "req.stale_replies": metrics.counter("req.stale_replies"),
+            "req.quarantined": metrics.counter("req.quarantined"),
+            "req.gave_up": metrics.counter("req.gave_up"),
+            "req.rejected_malformed": metrics.counter("req.rejected_malformed"),
+            "faults.transfer_stonewalled": metrics.counter(
+                "faults.transfer_stonewalled"
+            ),
+            "faults.transfer_slow_dripped": metrics.counter(
+                "faults.transfer_slow_dripped"
+            ),
+            "faults.transfer_garbage_served": metrics.counter(
+                "faults.transfer_garbage_served"
+            ),
+            "faults.transfer_stale_served": metrics.counter(
+                "faults.transfer_stale_served"
+            ),
+            "ae.requests_sent": metrics.counter("ae.requests_sent"),
+            "ae.retry_storm": metrics.counter("ae.retry_storm"),
+            "directory.splits": metrics.counter("directory.splits"),
+            "directory.merges": metrics.counter("directory.merges"),
+            "directory.joins_recorded": metrics.counter("directory.joins_recorded"),
+            "directory.evictions_deferred": metrics.counter(
+                "directory.evictions_deferred"
+            ),
+            "directory.merge_evictions_enforced": metrics.counter(
+                "directory.merge_evictions_enforced"
+            ),
+            "directory.join_revalidations_revoked": metrics.counter(
+                "directory.join_revalidations_revoked"
+            ),
             "faults.rejoin_joins": metrics.counter("faults.rejoin_joins"),
             "faults.rejoin_leaves": metrics.counter("faults.rejoin_leaves"),
             "membership.joins_completed": metrics.counter("membership.joins_completed"),
@@ -954,6 +1363,10 @@ def scenario_shard(seed: int, name: str) -> Dict[str, Any]:
         histograms["scenario.rejoin_max_fraction"] = [row["rejoin_max_group_fraction"]]
     if row["rejoin_max_threshold_excess"] is not None:
         histograms["scenario.rejoin_max_excess"] = [row["rejoin_max_threshold_excess"]]
+    if row["catchup_latency_max"] is not None:
+        histograms["scenario.catchup_latency"] = [row["catchup_latency_max"]]
+    if row["slowdown_penalty_max"] is not None:
+        histograms["scenario.slowdown_penalty"] = [row["slowdown_penalty_max"]]
     return {"counters": counters, "histograms": histograms}
 
 
@@ -1001,6 +1414,8 @@ def run_matrix(
         completion_hist = merged["histograms"].get("scenario.completion_ratio")
         rejoin_hist = merged["histograms"].get("scenario.rejoin_max_fraction")
         rejoin_excess_hist = merged["histograms"].get("scenario.rejoin_max_excess")
+        catchup_hist = merged["histograms"].get("scenario.catchup_latency")
+        slowdown_hist = merged["histograms"].get("scenario.slowdown_penalty")
         theory = scenario_robustness_row(
             system_size=scenario.growth_target
             if scenario.workload == "growth"
@@ -1014,6 +1429,8 @@ def run_matrix(
             # reconcile to full delivery), exactly like loss/delay/
             # duplication/corruption.  Per-node-isolation partitions keep
             # their fraction — isolated nodes are unavailable, like crashes.
+            # slow_vgroup and split_brain_directory likewise degrade
+            # latency/links only: every node stays live and correct.
             fault_fraction=scenario.fault_fraction
             if scenario.plan
             not in (
@@ -1023,6 +1440,8 @@ def run_matrix(
                 "lossy_links",
                 "corrupt_links",
                 "two_sided_split",
+                "split_brain_directory",
+                "slow_vgroup",
             )
             else 0.0,
             synchronous=scenario.smr != "async",
@@ -1039,6 +1458,13 @@ def run_matrix(
                 "rejoin_max_group_fraction": rejoin_hist.maximum if rejoin_hist else None,
                 "rejoin_max_threshold_excess": (
                     rejoin_excess_hist.maximum if rejoin_excess_hist else None
+                ),
+                "catchup_bound": scenario.catchup_bound,
+                "max_catchup_latency": catchup_hist.maximum if catchup_hist else None,
+                "mean_catchup_latency": catchup_hist.mean if catchup_hist else None,
+                "catchup_theory": _catchup_theory_for(scenario),
+                "max_slowdown_penalty": (
+                    slowdown_hist.maximum if slowdown_hist else None
                 ),
                 "seeds": list(seeds),
                 "violations": counters.get("scenario.violations", 0.0),
@@ -1124,7 +1550,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover - CLI
             for row in report["matrix"]
             if row["delivery_bound_met_runs"] != row["runs"]
         ]
-        print(f"FAILED: delivery bound missed by {missed}")
+        print(f"FAILED: delivery/catch-up/attack bound missed by {missed}")
         failed = True
     return 1 if failed else 0
 

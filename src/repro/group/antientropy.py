@@ -33,6 +33,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.net.requests import (
+    JitteredBackoff,
+    RequestManager,
+    RequestPolicy,
+    ResponseEnvelope,
+)
+
 
 @dataclass(frozen=True)
 class AntiEntropyConfig:
@@ -53,10 +60,24 @@ class AntiEntropyConfig:
             hop is about to close anyway would waste bandwidth — a quiet
             healthy system exchanges summaries but repairs nothing.
         max_repairs_per_peer: Repair actions triggered per incoming message.
-        resend_cooldown: Minimum time between re-sends of the same share to
-            the same target vgroup.
-        repropose_cooldown: Minimum time between SMR re-proposals of the
-            same broadcast inside the own vgroup.
+        resend_backoff_base: First-retry spacing for re-sends of the same
+            share to the same target vgroup (replaces the old fixed
+            ``resend_cooldown``: fixed cooldowns fire in lockstep after a
+            heal, which is exactly the ``ae.retry_storm`` pathology).
+        repropose_backoff_base: First-retry spacing for SMR re-proposals
+            of the same broadcast inside the own vgroup (replaces the old
+            fixed ``repropose_cooldown``).
+        backoff_factor: Multiplier applied to repair spacing per repeat;
+            ``1.0`` reproduces the legacy fixed-cooldown behaviour.
+        backoff_jitter: Relative jitter half-width on repair spacing,
+            drawn from a dedicated seeded stream
+            (``antientropy.backoff.<address>``); ``0`` draws no RNG.
+        backoff_max: Ceiling on the (pre-jitter) repair spacing.
+        pull_timeout: First-attempt deadline of an envelope-wrapped
+            ``ae.pull`` request (retries back off through the unified
+            request layer).
+        pull_attempts: Responders tried per pull before giving up (the
+            next summary round re-detects a still-open gap anyway).
         summary_bytes_base: Fixed wire size of a summary/request/hint.
         summary_bytes_per_id: Per-id wire size of a summary/request/hint.
         gc_settled_age: Age after which a *settled* broadcast's payload is
@@ -74,8 +95,13 @@ class AntiEntropyConfig:
     max_summary_ids: int = 256
     repair_min_age: float = 2.0
     max_repairs_per_peer: int = 16
-    resend_cooldown: float = 2.0
-    repropose_cooldown: float = 4.0
+    resend_backoff_base: float = 2.0
+    repropose_backoff_base: float = 4.0
+    backoff_factor: float = 1.6
+    backoff_jitter: float = 0.35
+    backoff_max: float = 16.0
+    pull_timeout: float = 3.0
+    pull_attempts: int = 3
     summary_bytes_base: int = 48
     summary_bytes_per_id: int = 8
     gc_settled_age: Optional[float] = 120.0
@@ -98,13 +124,59 @@ class AntiEntropyRepair:
         self._rng = node.sim.rng.stream(f"antientropy.{node.address}")
         # Payloads of delivered broadcasts, kept for repair re-supply.
         self.store: Dict[str, Any] = {}
-        # Cooldown state: (bcast_id, target_group) -> last share re-send,
-        # bcast_id -> last intra-group re-proposal.
-        self._last_resend: Dict[Tuple[str, str], float] = {}
-        self._last_repropose: Dict[str, float] = {}
+        cfg = self.config
+        # Repair spacing: seeded-jitter exponential backoff per repair key
+        # ((bcast_id, target_group) for share re-sends, bcast_id for
+        # re-proposals) replaces the old fixed cooldown constants, so
+        # repair traffic desynchronises after a heal instead of spiking
+        # in lockstep.  The streams are created lazily: a run that never
+        # repairs draws nothing.
+        self._resend_backoff = JitteredBackoff(
+            node.sim,
+            f"antientropy.backoff.{node.address}",
+            base=cfg.resend_backoff_base,
+            factor=cfg.backoff_factor,
+            jitter=cfg.backoff_jitter,
+            max_delay=cfg.backoff_max,
+        )
+        self._repropose_backoff = JitteredBackoff(
+            node.sim,
+            f"antientropy.backoff.{node.address}",
+            base=cfg.repropose_backoff_base,
+            factor=cfg.backoff_factor,
+            jitter=cfg.backoff_jitter,
+            max_delay=cfg.backoff_max,
+        )
+        # Lockstep watchdog: repair key -> (last repair time, last gap).
+        # Two identical consecutive gaps for the same key mean the spacing
+        # degenerated back to a fixed cooldown (ae.retry_storm counts it).
+        self._storm: Dict[Any, Tuple[float, Optional[float]]] = {}
+        # Envelope-wrapped ae.pull requests: correlation, deadlines,
+        # rotation over gossip neighbours and the responder scoreboard
+        # come from the unified request layer.
+        self._requests = RequestManager(
+            node.sim,
+            node.address,
+            self._send_pull,
+            policy=RequestPolicy(
+                base_timeout=cfg.pull_timeout,
+                max_attempts=cfg.pull_attempts,
+                # Candidates are preference-ordered (summary sender first —
+                # the one peer known to hold the missing ids); with bounded
+                # attempts a spread first pick could burn the whole budget
+                # on neighbours that never advertised the data.
+                spread_rotation=False,
+            ),
+            stream_name=f"requests.ae.{node.address}",
+        )
+        # Broadcast ids with a pull in flight (no duplicate pulls).
+        self._pending_pull_ids: set = set()
         node.register_direct_handler("ae.summary", self._on_summary)
         node.register_direct_handler("ae.request", self._on_request)
         node.register_direct_handler("ae.hint", self._on_hint)
+
+    def _send_pull(self, peer: str, payload: Any, size_bytes: int) -> None:
+        self.node.send_direct(peer, "ae.request", payload, size_bytes=size_bytes)
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -132,10 +204,18 @@ class AntiEntropyRepair:
             advertisable = set(self.node.delivered_order[-cap:])
             for bcast_id in [b for b in self.store if b not in advertisable]:
                 del self.store[bcast_id]
-            for key in [k for k in self._last_resend if k[0] not in advertisable]:
-                del self._last_resend[key]
-            for bcast_id in [b for b in self._last_repropose if b not in advertisable]:
-                del self._last_repropose[bcast_id]
+            self._forget_repair_state(lambda b: b not in advertisable)
+
+    def _forget_repair_state(self, dropped) -> None:
+        """Drop backoff/watchdog state for broadcasts matching ``dropped``."""
+        self._resend_backoff.prune(lambda key: dropped(key[0]))
+        self._repropose_backoff.prune(dropped)
+        for key in [
+            k
+            for k in self._storm
+            if dropped(k[0] if isinstance(k, tuple) else k)
+        ]:
+            del self._storm[key]
 
     # -------------------------------------------------------------------- ticks
 
@@ -186,10 +266,8 @@ class AntiEntropyRepair:
             return
         for bcast_id in stale:
             del self.store[bcast_id]
-            self._last_repropose.pop(bcast_id, None)
         stale_set = set(stale)
-        for key in [k for k in self._last_resend if k[0] in stale_set]:
-            del self._last_resend[key]
+        self._forget_repair_state(lambda b: b in stale_set)
         self.node.sim.metrics.increment("ae.store_gc_dropped", len(stale))
 
     def _peer_candidates(self) -> List[str]:
@@ -243,23 +321,84 @@ class AntiEntropyRepair:
             node.on_checkpoint_hint(sender, peer_checkpoint)
         cap = self.config.max_repairs_per_peer
         delivered = node.delivered
-        missing_here = [b for b in peer_ids if b not in delivered]
+        missing_here = [
+            b
+            for b in peer_ids
+            if b not in delivered and b not in self._pending_pull_ids
+        ]
         if missing_here:
-            request = (node.vgroup_view.group_id, tuple(missing_here[:cap]))
-            size = self.config.summary_bytes_base + self.config.summary_bytes_per_id * len(
-                request[1]
-            )
-            node.send_direct(sender, "ae.request", request, size_bytes=size)
+            self._issue_pull(sender, tuple(missing_here[:cap]))
+
+    def _issue_pull(self, sender: str, wanted: Tuple[str, ...]) -> None:
+        """Pull missing broadcasts through the unified request layer.
+
+        The summary sender is tried first; on timeout or an empty-handed
+        reply the request rotates through the other gossip neighbours
+        (bounded by ``pull_attempts``).  Satisfaction is *delivery*: an
+        honest server repairs through gossip/SMR side channels, so the
+        pull completes quietly once the ids land — only servers that
+        neither replied nor repaired in time accrue timeout suspicion.
+        """
+        node = self.node
+        candidates = [sender] + [
+            p for p in self._peer_candidates() if p != sender
+        ]
+        group_id = node.vgroup_view.group_id
+        size = self.config.summary_bytes_base + (
+            self.config.summary_bytes_per_id * len(wanted)
+        )
+        delivered = node.delivered
+        wanted_set = set(wanted)
+
+        def _verdict(payload, responder: str) -> Optional[str]:
+            if not isinstance(payload, tuple):
+                return "garbage"
+            if not payload:
+                return "stale"  # empty-handed: rotate to the next neighbour
+            return None  # acked; wait for the gossip-side repair to land
+
+        request_id = self._requests.request(
+            "ae.pull",
+            (group_id, wanted),
+            candidates,
+            on_response=_verdict,
+            satisfied=lambda: all(b in delivered for b in wanted),
+            on_done=lambda: self._pending_pull_ids.difference_update(wanted_set),
+            size_bytes=size,
+        )
+        if request_id is not None:
+            self._pending_pull_ids.update(wanted_set)
             node.sim.metrics.increment("ae.requests_sent")
 
     def _on_request(self, payload, sender: str) -> None:
         node = self.node
         if not node.is_correct or not node.is_member:
             return
-        requester_group, wanted = payload
-        held = [b for b in wanted if b in self.store]
+        if isinstance(payload, ResponseEnvelope):
+            self._requests.on_envelope(payload, sender)
+            return
+        envelope = self._requests.validate_request(payload, "ae.pull", sender)
+        if envelope is None:
+            return
+        inner = envelope.payload
+        if (
+            not isinstance(inner, tuple)
+            or len(inner) != 2
+            or not isinstance(inner[1], tuple)
+        ):
+            node.sim.metrics.increment("req.rejected_malformed")
+            return
+        requester_group, wanted = inner
+        held = [b for b in wanted if b in self.store][
+            : self.config.max_repairs_per_peer
+        ]
+        ack = tuple(held)
+        size = self.config.summary_bytes_base + (
+            self.config.summary_bytes_per_id * len(ack)
+        )
+        self._requests.respond(envelope, ack, size_bytes=size)
         if held:
-            self._repair(held[: self.config.max_repairs_per_peer], requester_group, hint=True)
+            self._repair(held, requester_group, hint=True)
 
     def _on_hint(self, payload, sender: str) -> None:
         """A co-member noticed ``target_group`` misses ids we may hold."""
@@ -277,40 +416,56 @@ class AntiEntropyRepair:
 
     # ------------------------------------------------------------------- repair
 
+    def _gate(self, backoff: JitteredBackoff, key) -> bool:
+        """Backoff-gate one repair action, watching for lockstep retries.
+
+        Two identical consecutive gaps between repairs of the same key
+        mean the spacing degenerated into the fixed-cooldown pathology
+        (every starved node re-firing on the same metronome after a
+        heal); ``ae.retry_storm`` counts those so the regression test —
+        and the matrix — can assert the jittered default never does it.
+        """
+        if not backoff.attempt(key):
+            return False
+        now = self.node.sim.now
+        state = self._storm.get(key)
+        if state is None:
+            self._storm[key] = (now, None)
+        else:
+            last, gap = state
+            new_gap = now - last
+            if gap is not None and abs(new_gap - gap) < 1e-9:
+                self.node.sim.metrics.increment("ae.retry_storm")
+            self._storm[key] = (now, new_gap)
+        return True
+
     def _repair(self, bcast_ids, target_group: str, hint: bool) -> None:
         node = self.node
         view = node.vgroup_view
         if view is None:
             return
-        now = node.sim.now
         if target_group == view.group_id:
             # Intra-group gap: go through the vgroup's own agreement engine.
-            cooldown = self.config.repropose_cooldown
             for bcast_id in bcast_ids:
                 message = self.store.get(bcast_id)
                 if message is None:
                     continue
-                last = self._last_repropose.get(bcast_id)
-                if last is not None and now - last < cooldown:
+                if not self._gate(self._repropose_backoff, bcast_id):
                     continue
-                self._last_repropose[bcast_id] = now
                 if node.repropose_broadcast(message):
                     node.sim.metrics.increment("ae.reproposals")
             return
         target_view = node.directory.view_of_group(target_group)
         if target_view is None:
             return
-        cooldown = self.config.resend_cooldown
         resent: List[str] = []
         for bcast_id in bcast_ids:
             message = self.store.get(bcast_id)
             if message is None:
                 continue
             key = (bcast_id, target_group)
-            last = self._last_resend.get(key)
-            if last is not None and now - last < cooldown:
+            if not self._gate(self._resend_backoff, key):
                 continue
-            self._last_resend[key] = now
             # Same deterministic gm-id as ordinary forwarding, so re-sent
             # shares combine with shares that survived the partition and the
             # target still accepts only on a sender-vgroup majority.

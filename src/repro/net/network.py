@@ -288,6 +288,22 @@ class Network:
         else:
             self._splits.pop(split_id, None)
 
+    def bind_to_split(self, split_id: int, address: str, side_index: int) -> None:
+        """Bind ``address`` to one side of an active split.
+
+        Used when a node *joins* during a split: unbound addresses would
+        straddle the split (reachable from every side), which no real
+        partition permits — the joiner lives in some machine room, so it
+        lands on exactly one side.  No-op for unknown split ids.
+        """
+        mapping = self._splits.get(split_id)
+        if mapping is not None:
+            mapping[address] = side_index
+
+    def split_sides(self, split_id: int) -> Optional[Dict[str, int]]:
+        """The address→side mapping of an active split (``None`` if healed)."""
+        return self._splits.get(split_id)
+
     def crosses_split(self, sender: str, receiver: str) -> bool:
         """Whether any active split separates ``sender`` from ``receiver``."""
         for mapping in self._splits.values():

@@ -98,6 +98,7 @@ class MembershipEngine:
         on_group_removed: Optional[Callable[[str], None]] = None,
         on_node_left: Optional[Callable[[str], None]] = None,
         on_join_completed: Optional[Callable[[str, str], None]] = None,
+        cost_perturbation: Optional[Callable[[str, float], float]] = None,
     ) -> None:
         self.sim = sim
         self.config = config
@@ -106,6 +107,11 @@ class MembershipEngine:
         self.on_group_removed = on_group_removed
         self.on_node_left = on_node_left
         self.on_join_completed = on_join_completed
+        # Optional fault hook: maps ``(group_id, duration) -> duration`` and
+        # lets fault plans model slow/straggler vgroups whose agreements take
+        # longer than the cost model predicts.  ``None`` (the default) leaves
+        # every reservation untouched, so unfaulted runs are byte-identical.
+        self.cost_perturbation = cost_perturbation
 
         self.groups: Dict[str, VGroupView] = {}
         self.node_group: Dict[str, str] = {}
@@ -504,8 +510,19 @@ class MembershipEngine:
         if not neighbors:
             return
         self.sim.metrics.increment("membership.merges")
-        target = self._rng.choice(neighbors)
         moving = list(self.groups[group_id].members)
+        # Prefer a neighbour the merge fits into without exceeding gmax:
+        # under heavy eviction churn several undersized vgroups can merge
+        # concurrently, and a blind random choice lets them pile onto one
+        # target far past the split transient.  When every neighbour would
+        # overflow, take the smallest so the overshoot stays minimal.
+        fitting = [
+            g for g in neighbors if self.groups[g].size + len(moving) <= self.config.gmax
+        ]
+        if fitting:
+            target = self._rng.choice(fitting)
+        else:
+            target = min(neighbors, key=lambda g: (self.groups[g].size, g))
         merged_view = self.groups[target].with_members(
             list(self.groups[target].members) + moving
         )
@@ -556,6 +573,8 @@ class MembershipEngine:
         has pending (:meth:`_reserve_relay`), so relayed walks consume real
         capacity even though they do not mark the vgroup as reconfiguring.
         """
+        if self.cost_perturbation is not None:
+            duration = self.cost_perturbation(group_id, duration)
         start = max(
             self.sim.now if earliest is None else earliest,
             self._busy_until.get(group_id, 0.0),
@@ -572,6 +591,8 @@ class MembershipEngine:
         not constitute a reconfiguration, so it must not cause shuffle
         exchanges that pick this vgroup as a partner to be suppressed.
         """
+        if self.cost_perturbation is not None:
+            duration = self.cost_perturbation(group_id, duration)
         start = max(
             self.sim.now,
             self._busy_until.get(group_id, 0.0),

@@ -54,8 +54,11 @@ class SmrConfig:
         checkpoint_announce_period: Interval of the stable-checkpoint
             announce timer (the liveness path for replicas that were cut
             off while the checkpoint formed).
-        state_transfer_timeout: How long a replica waits for a state
-            transfer response before retrying with the next certifier.
+
+    State-transfer retry timing is no longer a fixed constant here: it
+    lives in :class:`repro.net.requests.RequestPolicy` (rotation,
+    seeded-jitter exponential backoff, responder scoreboard), owned by
+    :class:`repro.smr.checkpoint.CheckpointManager`.
     """
 
     round_duration: float = 1.0
@@ -64,7 +67,6 @@ class SmrConfig:
     max_instances: int = 10_000
     checkpoint_interval: int = 0
     checkpoint_announce_period: float = 2.0
-    state_transfer_timeout: float = 3.0
 
 
 class SmrReplica(abc.ABC):

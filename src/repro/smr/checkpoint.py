@@ -40,11 +40,17 @@ disabled (the default) are byte-identical to pre-checkpoint builds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.crypto.digest import digest_object
 from repro.crypto.keys import Signature
+from repro.net.requests import (
+    RequestEnvelope,
+    RequestManager,
+    RequestPolicy,
+    ResponseEnvelope,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.smr.base import Operation
@@ -104,6 +110,13 @@ class CheckpointAnnounce:
     epoch: int
     certificate: Optional[CheckpointCertificate]
     log_length: int = 0
+    # The announcer's current PBFT view.  A healed replica may be several
+    # views behind its co-replicas (view changes happened while it was cut
+    # off); its recovery view change must propose a view *above* theirs or
+    # they ignore the vote (``new_view <= self.view``) and the tail stalls
+    # forever.  The announce is the only traffic guaranteed to flow to a
+    # quiet straggler, so it carries the view.
+    view: int = 0
 
 
 @dataclass(frozen=True)
@@ -180,21 +193,40 @@ class CheckpointManager:
         self._positions: Dict[str, int] = {}
         # Outstanding state transfer: the certificate we must install up to.
         self._transfer_target: Optional[CheckpointCertificate] = None
-        self._transfer_requested_at: float = -1.0
-        self._transfer_attempts: int = 0
         # Whether the install should be followed by a view change to
         # realign the view-local execution cursor.  True for transfers
         # triggered outside a view change (announce, anti-entropy hint);
         # False when a new view triggered the transfer — that view's own
         # re-proposals already run under a fresh, gap-free numbering.
         self._realign_after_install = True
-        self._last_hint_request: float = -1.0
         self._announce_armed = False
+        # The stable certificate this one replaced: kept only so a
+        # `stale_cert` adversary has something genuinely old to serve.
+        self.previous_stable: Optional[CheckpointCertificate] = None
+        # Retries, rotation, backoff and the responder scoreboard live in
+        # the unified request layer; built only when checkpointing is on,
+        # so disabled runs stay byte-identical.
+        self._requests: Optional[RequestManager] = None
+        self._transfer_request_id: Optional[str] = None
+        # Sim time the current catch-up gap opened (-1 = no open gap);
+        # feeds the catch-up-latency-under-attack matrix rows.
+        self._gap_since: float = -1.0
+        if self.interval > 0:
+            self._requests = RequestManager(
+                replica.sim,
+                replica.node_id,
+                replica.send_fn,
+                policy=RequestPolicy(),
+                stream_name=f"requests.ckpt.{replica.node_id}",
+            )
         # Tail catch-up state: how long our log has been frozen below a
         # co-replica's announced (uncertified) log length.
         self._tail_seen_length = -1
         self._tail_deficit_since = -1.0
         self._last_tail_view_change = -1.0
+        # Highest PBFT view any co-replica announced this epoch; recovery
+        # view changes propose past it (see _note_peer_log_length).
+        self.peer_view_seen = 0
         # Incremental chain-digest cache: the chained state digest over the
         # first _chain_count decided operations (a multiple of interval).
         # The decided log is append-only, so each emission folds only the
@@ -224,8 +256,17 @@ class CheckpointManager:
             return False
         if len(self.replica.decided_log) >= target.seq:
             self._transfer_target = None
+            self._gap_closed()
             return False
         return True
+
+    def _gap_closed(self) -> None:
+        """The catch-up gap just closed: record how long recovery took."""
+        if self._gap_since >= 0:
+            self._metrics().observe(
+                "smr.checkpoint.catchup_latency", self.replica.sim.now - self._gap_since
+            )
+            self._gap_since = -1.0
 
     def _metrics(self):
         return self.replica.sim.metrics
@@ -381,6 +422,7 @@ class CheckpointManager:
         """Install a (locally formed or received-and-verified) certificate."""
         if self.stable is not None and certificate.seq <= self.stable.seq:
             return
+        self.previous_stable = self.stable
         self.stable = certificate
         metrics = self._metrics()
         metrics.increment("smr.checkpoint.stable")
@@ -415,6 +457,7 @@ class CheckpointManager:
                 self._adopt_stable(certificate)
             else:
                 self._reject("bad_certificate")
+        self.peer_view_seen = max(self.peer_view_seen, message.view)
         self._note_peer_log_length(message.log_length)
 
     def _note_peer_log_length(self, peer_length: int) -> None:
@@ -459,7 +502,11 @@ class CheckpointManager:
         self._last_tail_view_change = now
         self._tail_deficit_since = now
         self._metrics().increment("smr.checkpoint.tail_view_changes")
-        replica._start_view_change()
+        # Propose past the highest view any co-replica announced: peers
+        # already in a later view ignore votes for views at or below their
+        # own, so a straggler proposing only ``view + 1`` would never
+        # gather a quorum.
+        replica._start_view_change(target=self.peer_view_seen + 1)
 
     def on_new_view_certificate(self, certificate: CheckpointCertificate) -> None:
         """The new-view message carried a stable checkpoint certificate.
@@ -496,23 +543,35 @@ class CheckpointManager:
 
         The hint carries no certificate, so nothing is trusted yet: we ask
         ``peer`` for a state transfer and validate the certificate that
-        comes back with the response.  Rate-limited so periodic summaries
-        do not flood an already-recovering replica.
+        comes back with the response.  At most one hint probe is
+        outstanding at a time (request-layer dedup), so periodic summaries
+        cannot flood an already-recovering replica; the probe is
+        single-attempt — if the hinting peer stonewalls, the next summary
+        round names a fresh peer anyway.
         """
         replica = self.replica
-        if self.interval <= 0 or not replica.running:
+        requests = self._requests
+        if self.interval <= 0 or not replica.running or requests is None:
             return
         if seq <= len(replica.decided_log) or seq <= self.stable_seq:
             return
         if self.transfer_blocking:
             return  # a certified transfer is already in flight
-        now = replica.sim.now
-        cooldown = replica.config.checkpoint_announce_period
-        if self._last_hint_request >= 0 and now - self._last_hint_request < cooldown:
+        if requests.has_pending("hint"):
             return
-        self._last_hint_request = now
         self._metrics().increment("smr.checkpoint.gap_hints")
-        self._send_request(peer)
+        requests.request(
+            "ckpt.transfer",
+            self._transfer_payload,
+            [peer],
+            on_response=lambda payload, sender: self._handle_state_response(payload),
+            satisfied=lambda: not replica.running
+            or self.transfer_blocking
+            or seq <= len(replica.decided_log),
+            size_bytes=replica.config.message_bytes,
+            policy=dc_replace(requests.policy, max_attempts=1),
+            dedup_key="hint",
+        )
 
     def _begin_transfer(
         self, certificate: CheckpointCertificate, realign: bool = True
@@ -522,54 +581,102 @@ class CheckpointManager:
         ):
             return
         self._transfer_target = certificate
-        self._transfer_attempts = 0
         self._realign_after_install = realign
+        if self._gap_since < 0:
+            self._gap_since = self.replica.sim.now
         self._metrics().increment("smr.checkpoint.gaps_detected")
-        self._request_from_certifier()
+        self._issue_transfer_request()
 
-    def _request_from_certifier(self) -> None:
-        target = self._transfer_target
-        if target is None:
-            return
-        peers = [s for s in sorted(set(target.signers)) if s != self.replica.node_id]
-        if not peers:
-            return
-        peer = peers[self._transfer_attempts % len(peers)]
-        self._transfer_attempts += 1
-        self._send_request(peer)
-
-    def _send_request(self, peer: str) -> None:
+    def _transfer_payload(self) -> StateTransferRequest:
+        """Build a fresh request (called by the request layer per attempt)."""
         replica = self.replica
-        self._transfer_requested_at = replica.sim.now
         self._metrics().increment("smr.checkpoint.state_requests")
-        request = StateTransferRequest(
+        return StateTransferRequest(
             epoch=replica.epoch,
             have_count=len(replica.decided_log),
             replica=replica.node_id,
         )
-        replica.send_fn(peer, request, replica.config.message_bytes)
 
-    def on_state_request(self, message: StateTransferRequest, sender: str) -> None:
+    def _issue_transfer_request(self) -> None:
+        """(Re)issue the transfer through the request layer.
+
+        Rotation over the certificate's signers, exponential backoff with
+        seeded jitter, and the responder scoreboard all live in
+        :class:`~repro.net.requests.RequestManager`; the request retries
+        until the gap closes (``satisfied``), the replica stops, or a
+        higher certificate supersedes it (we cancel and reissue).
+        """
+        target = self._transfer_target
+        requests = self._requests
+        if target is None or requests is None:
+            return
+        replica = self.replica
+        peers = [s for s in sorted(set(target.signers)) if s != replica.node_id]
+        if not peers:
+            return
+        if self._transfer_request_id is not None:
+            requests.cancel(self._transfer_request_id)
+        self._transfer_request_id = requests.request(
+            "ckpt.transfer",
+            self._transfer_payload,
+            peers,
+            on_response=lambda payload, sender: self._handle_state_response(payload),
+            satisfied=lambda: not replica.running or not self.transfer_blocking,
+            size_bytes=replica.config.message_bytes,
+        )
+
+    def build_state_response(
+        self, message: StateTransferRequest, sender: str
+    ) -> Optional[StateTransferResponse]:
+        """Build the certified-prefix response for a transfer request.
+
+        Returns ``None`` when we have nothing useful to serve (no stable
+        checkpoint beyond the requester's log, or we lag it ourselves).
+        Shared by the bare-frame path and the envelope path — and by a
+        ``slow_drip`` adversary, whose delayed reply is deliberately
+        *correct*: the attack is in the timing, not the content.
+        """
         replica = self.replica
         if message.epoch != replica.epoch:
-            return
+            return None
         if sender not in replica.members:
             self._reject("request_non_member")
-            return
+            return None
         stable = self.stable
         if stable is None or stable.seq <= message.have_count:
-            return  # nothing certified beyond the requester's log
+            return None  # nothing certified beyond the requester's log
         if len(replica.decided_log) < stable.seq:
-            return  # we are lagging ourselves; cannot serve
+            return None  # we are lagging ourselves; cannot serve
         operations = tuple(replica.decided_log[message.have_count : stable.seq])
-        response = StateTransferResponse(
+        self._metrics().increment("smr.checkpoint.state_responses")
+        return StateTransferResponse(
             epoch=replica.epoch,
             certificate=stable,
             base_count=message.have_count,
             operations=operations,
         )
-        self._metrics().increment("smr.checkpoint.state_responses")
-        size = replica.config.message_bytes + 64 * len(operations)
+
+    @staticmethod
+    def response_bytes(response: StateTransferResponse, message_bytes: int) -> int:
+        return message_bytes + 64 * len(response.operations)
+
+    def respond_transfer(
+        self, envelope: RequestEnvelope, response: StateTransferResponse
+    ) -> None:
+        """Ship ``response`` correlated to ``envelope`` (adversary entry too:
+        the responder behaviours craft their own responses and send them
+        through the same correlated channel a correct server uses)."""
+        if self._requests is None:
+            return
+        size = self.response_bytes(response, self.replica.config.message_bytes)
+        self._requests.respond(envelope, response, size)
+
+    def on_state_request(self, message: StateTransferRequest, sender: str) -> None:
+        replica = self.replica
+        response = self.build_state_response(message, sender)
+        if response is None:
+            return
+        size = self.response_bytes(response, replica.config.message_bytes)
         replica.send_fn(sender, response, size)
 
     def on_state_response(self, message: StateTransferResponse, sender: str) -> None:
@@ -580,31 +687,53 @@ class CheckpointManager:
         certified digest.  A response that fails any check is dropped and
         counted — the log is never touched.
         """
+        self._handle_state_response(message)
+
+    def _handle_state_response(self, message) -> Optional[str]:
+        """Classify (and, when valid, install) a state transfer response.
+
+        Returns the request-layer verdict: ``"ok"`` (installed, or the
+        gap closed some other way), ``"garbage"`` (well-formed but
+        wrong-content — scoreboard-weighted heavily), ``"stale"``
+        (genuinely old or raced our own progress), ``"ignore"`` (says
+        nothing about the responder, e.g. an epoch we already left).
+        """
         replica = self.replica
+        if not isinstance(message, StateTransferResponse):
+            self._reject("malformed_response")
+            return "garbage"
         if message.epoch != replica.epoch:
-            return
+            return "ignore"
         certificate = message.certificate
         if not self.valid_certificate(certificate):
             self._reject("bad_certificate")
-            return
+            return "garbage"
         log = replica.decided_log
         if certificate.seq <= len(log):
-            return  # already caught up past this checkpoint
+            if self.transfer_blocking:
+                # A valid but genuinely old certificate that does not
+                # advance the open gap: the `stale_cert` adversary's
+                # signature move.  Score it and rotate.
+                self._reject("stale_certificate")
+                return "stale"
+            return "ok"  # already caught up past this checkpoint
         if message.base_count != len(log):
             # The local log moved (or the responder lied about the base);
-            # retry from scratch rather than splicing at a wrong offset.
+            # retry from scratch rather than splicing at a wrong offset —
+            # the retried request carries our fresh log length.
             self._reject("stale_base")
-            return
+            return "stale"
         if len(message.operations) != certificate.seq - message.base_count:
             self._reject("length_mismatch")
-            return
+            return "garbage"
         if any(op.op_id in replica._executed_ops for op in message.operations):
             self._reject("duplicate_operation")
-            return
+            return "garbage"
         if self._chained_digest_with(message.operations) != certificate.state_digest:
             self._reject("digest_mismatch")
-            return
+            return "garbage"
         self._install(certificate, message.operations)
+        return "ok"
 
     def _install(
         self,
@@ -625,6 +754,7 @@ class CheckpointManager:
         if not still_lagging:
             self._transfer_target = None
             self._realign_after_install = True
+            self._gap_closed()
         if self.stable is None or certificate.seq > self.stable.seq:
             self._adopt_stable(certificate)
         if still_lagging:
@@ -635,7 +765,7 @@ class CheckpointManager:
             # let new-view re-proposals leapfrog the missing prefix — and
             # the remaining gap is chased immediately (our base moved, so
             # the outstanding request's response would be stale-based).
-            self._request_from_certifier()
+            self._issue_transfer_request()
             return
         replica._after_state_install(realign=realign)
 
@@ -664,14 +794,12 @@ class CheckpointManager:
                     epoch=replica.epoch,
                     certificate=self.stable,
                     log_length=len(replica.decided_log),
+                    view=replica.view,
                 )
             )
-        # Retry a stuck state transfer from the next certifier: the first
-        # responder may be Byzantine, partitioned, or gone.
-        if self.transfer_blocking:
-            timeout = replica.config.state_transfer_timeout
-            if replica.sim.now - self._transfer_requested_at >= timeout:
-                self._request_from_certifier()
+        # Stuck-transfer retries moved to the unified request layer
+        # (rotation + jittered backoff in RequestManager); the announce
+        # tick no longer owns recovery liveness.
 
     # ------------------------------------------------------------------ routing
 
@@ -685,9 +813,34 @@ class CheckpointManager:
             self.on_state_request(payload, sender)
         elif isinstance(payload, StateTransferResponse):
             self.on_state_response(payload, sender)
+        elif isinstance(payload, RequestEnvelope):
+            self._on_transfer_request_envelope(payload, sender)
+        elif isinstance(payload, ResponseEnvelope):
+            if self._requests is not None:
+                self._requests.on_envelope(payload, sender)
         else:
             return False
         return True
+
+    def _on_transfer_request_envelope(
+        self, envelope: RequestEnvelope, sender: str
+    ) -> None:
+        """Serve an envelope-wrapped transfer request (the retry-layer path)."""
+        requests = self._requests
+        if requests is None:
+            return
+        validated = requests.validate_request(envelope, "ckpt.transfer", sender)
+        if validated is None:
+            return
+        message = validated.payload
+        if not isinstance(message, StateTransferRequest):
+            self._metrics().increment("req.rejected_malformed")
+            return
+        response = self.build_state_response(message, sender)
+        if response is None:
+            return
+        size = self.response_bytes(response, self.replica.config.message_bytes)
+        requests.respond(validated, response, size)
 
     # ------------------------------------------------------------------- epoch
 
@@ -700,9 +853,18 @@ class CheckpointManager:
         signed them may be gone.
         """
         self.stable = None
+        self.previous_stable = None
         self._votes.clear()
         self._transfer_target = None
-        self._transfer_attempts = 0
+        self._gap_since = -1.0
+        # Views restart with the epoch (reset_for_epoch on the replica),
+        # so stale peer-view knowledge must not inflate recovery proposals.
+        self.peer_view_seen = 0
+        # Outstanding requests were signed-for under the old epoch's
+        # membership; their responses would be epoch-mismatched anyway.
+        if self._requests is not None:
+            self._requests.cancel_all()
+        self._transfer_request_id = None
         # An aborted new-view transfer must not leave realign=False behind,
         # or the next epoch's hint-path install would skip its view change.
         self._realign_after_install = True

@@ -427,7 +427,12 @@ class PbftReplica(SmrReplica):
         """
         self._execute_ready()
         if realign and self.running and len(self.members) > 1:
-            self._start_view_change()
+            target = (
+                self.checkpoints.peer_view_seen + 1
+                if self.checkpoints is not None
+                else None
+            )
+            self._start_view_change(target=target)
 
     # -------------------------------------------------------------- view change
 
@@ -471,8 +476,16 @@ class PbftReplica(SmrReplica):
     def _stable_certificate(self) -> Optional[CheckpointCertificate]:
         return self.checkpoints.stable if self.checkpoints is not None else None
 
-    def _start_view_change(self) -> None:
-        new_view = self.view + 1
+    def _start_view_change(self, target: Optional[int] = None) -> None:
+        """Vote for a view change to ``max(view + 1, target)``.
+
+        ``target`` lets recovery paths (checkpoint tail catch-up, post-
+        transfer realign) propose past views they only know from peer
+        announces: co-replicas ignore view-change votes at or below their
+        own view, so a straggler several views behind must aim above the
+        highest view it has seen announced or its vote gathers no quorum.
+        """
+        new_view = max(self.view + 1, target if target is not None else 0)
         message = PbftViewChange(
             epoch=self.epoch,
             new_view=new_view,
@@ -488,6 +501,7 @@ class PbftReplica(SmrReplica):
         if message.epoch != self.epoch or message.new_view <= self.view:
             return
         votes = self._view_change_votes.setdefault(message.new_view, {})
+        fresh_voter = message.replica not in votes
         votes[message.replica] = message
         # Join the view change when another replica started it; this avoids
         # waiting for our own timeout and gets the new primary its quorum.
@@ -501,6 +515,26 @@ class PbftReplica(SmrReplica):
             )
             votes[self.node_id] = own
             self._broadcast(own)
+        elif fresh_voter and message.replica != self.node_id:
+            # We already voted for this view, but that broadcast may predate
+            # a partition the fresh voter sat behind — notably a healed
+            # straggler that is itself the view's new primary, which then
+            # waits forever on votes it never received.  Re-send our vote
+            # straight to the newcomer, rebuilt with the *current* prepared
+            # slots: operations committed since the original vote must ride
+            # along or the new view would forget them.  Only a first-time
+            # voter triggers the resend, so two replicas exchanging stored
+            # votes cannot ping-pong.
+            own = PbftViewChange(
+                epoch=self.epoch,
+                new_view=message.new_view,
+                replica=self.node_id,
+                prepared=self._prepared_slots(),
+                checkpoint=self._stable_certificate(),
+            )
+            votes[self.node_id] = own
+            self.sim.metrics.increment("smr.pbft.view_change_revotes")
+            self.send_fn(message.replica, own, self.config.message_bytes)
         ordered = sorted(self.members)
         new_primary = ordered[message.new_view % len(ordered)]
         if new_primary != self.node_id:

@@ -250,3 +250,33 @@ class TestDeterminism:
         second_trace, second_counters = run()
         assert first_trace == second_trace
         assert first_counters == second_counters
+
+
+class TestAntiLockstep:
+    """Regression for the synchronized-retry pathology the backoff removed."""
+
+    def drive(self, config, seed=33):
+        # Hammer one repair key at a fixed poller cadence; the backoff gate
+        # decides when a repair actually fires.  The storm watchdog counts
+        # consecutive identical gaps between fired repairs.
+        cluster = AtumCluster(small_params(), seed=seed, antientropy=config)
+        cluster.build_static([f"n{i}" for i in range(8)])
+        repair = cluster.nodes["n0"].antientropy
+
+        def poll():
+            repair._gate(repair._resend_backoff, ("bcast", "vg-1"))
+            cluster.sim.schedule(0.25, poll)
+
+        cluster.sim.schedule(0.25, poll)
+        cluster.run(until=60.0)
+        return cluster.sim.metrics.counter("ae.retry_storm")
+
+    def test_fixed_cooldown_config_degenerates_into_a_retry_storm(self):
+        # factor=1.0 + zero jitter reproduces the legacy fixed-cooldown
+        # behaviour: every retry lands on the same metronome and the
+        # watchdog flags it.
+        degenerate = AntiEntropyConfig(backoff_factor=1.0, backoff_jitter=0.0)
+        assert self.drive(degenerate) > 0
+
+    def test_default_jittered_backoff_never_storms(self):
+        assert self.drive(AntiEntropyConfig()) == 0

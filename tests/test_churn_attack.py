@@ -116,11 +116,12 @@ class TestAntiEntropyUnderChurn:
             )
         cluster.run(until=30.0)
         # Every payload is long settled: the stores drained completely and
-        # the cooldown maps went with them.
+        # the repair backoff/watchdog state went with them.
         for node in cluster.nodes.values():
             assert node.antientropy.store == {}
-            assert node.antientropy._last_resend == {}
-            assert node.antientropy._last_repropose == {}
+            assert node.antientropy._resend_backoff._state == {}
+            assert node.antientropy._repropose_backoff._state == {}
+            assert node.antientropy._storm == {}
         assert cluster.sim.metrics.counter("ae.store_gc_dropped") > 0
 
     def test_gc_disabled_keeps_the_old_retention(self):

@@ -1,0 +1,159 @@
+"""Tests for split-brain membership reconciliation (repro.overlay.directory).
+
+Unit-level: the pure merge function and the per-side bookkeeping of
+:class:`SplitBrainCoordinator`.  Cluster-level wiring (per-side recording
+during a real split, merge enforcement at heal, and the invariant
+monitor's replay of the recorded directories) is exercised through the
+``broadcast/split_brain_directory`` scenario in ``test_faults.py``.
+"""
+
+import pytest
+
+from repro.overlay.directory import (
+    MergeDecision,
+    SideDirectory,
+    SplitBrainCoordinator,
+    merge_directories,
+)
+from repro.sim.simulator import Simulator
+
+
+def side(index, members, joined=(), left=(), evicted=()):
+    directory = SideDirectory(side_index=index, members=frozenset(members))
+    for address in joined:
+        directory.record(0.0, "join", address)
+    for address in left:
+        directory.record(0.0, "leave", address)
+    for address in evicted:
+        directory.record(0.0, "evict", address)
+    return directory
+
+
+class TestMergeDirectories:
+    def test_evicted_on_either_side_stays_evicted(self):
+        decision = merge_directories(
+            [side(0, ["a", "b"], evicted=["x"]), side(1, ["c", "d"], evicted=["y"])]
+        )
+        assert decision.evicted == frozenset({"x", "y"})
+        assert decision.admitted == frozenset()
+        assert decision.revoked == frozenset()
+
+    def test_join_survives_when_no_side_evicted_it(self):
+        decision = merge_directories(
+            [side(0, ["a"], joined=["j"]), side(1, ["b"])]
+        )
+        assert decision.admitted == frozenset({"j"})
+        assert decision.revoked == frozenset()
+
+    def test_join_revoked_when_other_side_evicted_the_joiner(self):
+        # The canonical rejoin attack: evicted on side 0, rejoins through
+        # side 1 while the split hides the eviction.  Re-validation at
+        # merge rolls the join back — eviction is a safety decision.
+        decision = merge_directories(
+            [side(0, ["a", "b"], evicted=["m"]), side(1, ["c", "d"], joined=["m"])]
+        )
+        assert decision.evicted == frozenset({"m"})
+        assert decision.revoked == frozenset({"m"})
+        assert decision.admitted == frozenset()
+
+    def test_merge_is_order_independent(self):
+        sides = [
+            side(0, ["a"], joined=["j"], evicted=["x"]),
+            side(1, ["b"], joined=["m"], evicted=["m"]),
+            side(2, ["c"], evicted=["j2"]),
+        ]
+        forward = merge_directories(sides)
+        backward = merge_directories(list(reversed(sides)))
+        assert forward == backward
+
+    def test_deferred_evictions_count_as_evictions(self):
+        # A cross-side eviction is recorded as "evict_deferred" but must
+        # carry the same weight at merge as an executed one.
+        directory = side(0, ["a", "b"])
+        directory.record(1.0, "evict_deferred", "z")
+        decision = merge_directories([directory, side(1, ["c"], joined=["z"])])
+        assert decision.evicted == frozenset({"z"})
+        assert decision.revoked == frozenset({"z"})
+
+    def test_leaves_do_not_affect_the_merge_sets(self):
+        decision = merge_directories([side(0, ["a"], left=["a"]), side(1, ["b"])])
+        assert decision == MergeDecision(
+            evicted=frozenset(), admitted=frozenset(), revoked=frozenset()
+        )
+
+
+class TestSplitBrainCoordinator:
+    def build(self):
+        sim = Simulator(seed=1)
+        coordinator = SplitBrainCoordinator(
+            sim, sides=[("a0", "a1", "a2"), ("b0", "b1", "b2")]
+        )
+        return sim, coordinator
+
+    def test_construction_counts_the_split_and_maps_sides(self):
+        sim, coordinator = self.build()
+        assert sim.metrics.counter("directory.splits") == 1
+        assert coordinator.side_of("a1") == 0
+        assert coordinator.side_of("b2") == 1
+        assert coordinator.side_of("outsider") is None
+
+    def test_join_binds_the_joiner_to_the_host_side(self):
+        sim, coordinator = self.build()
+        assert coordinator.record_join("j", host_side=1) == 1
+        assert coordinator.side_of("j") == 1
+        assert "j" in coordinator.sides[1].joined
+        assert sim.metrics.counter("directory.joins_recorded") == 1
+        # A join hosted entirely outside the split is split-irrelevant.
+        assert coordinator.record_join("k", host_side=None) is None
+        assert coordinator.side_of("k") is None
+
+    def test_same_side_eviction_executes_immediately(self):
+        sim, coordinator = self.build()
+        assert coordinator.record_eviction(["a0", "a1"], "a2") is True
+        assert "a2" in coordinator.sides[0].evicted
+        assert sim.metrics.counter("directory.evictions_deferred") == 0
+
+    def test_cross_side_eviction_is_deferred_but_recorded(self):
+        sim, coordinator = self.build()
+        assert coordinator.record_eviction(["a0", "a1"], "b0") is False
+        assert "b0" in coordinator.sides[0].evicted  # deciding side's record
+        assert sim.metrics.counter("directory.evictions_deferred") == 1
+        # ... and the merge still enforces it.
+        assert "b0" in coordinator.merge().evicted
+
+    def test_eviction_with_outside_parties_executes(self):
+        sim, coordinator = self.build()
+        # Target outside the split: nothing to defer.
+        assert coordinator.record_eviction(["a0"], "outsider") is True
+        # Deciders outside the split: the target side records it.
+        assert coordinator.record_eviction(["outsider"], "b1") is True
+        assert "b1" in coordinator.sides[1].evicted
+
+    def test_merge_is_idempotent(self):
+        sim, coordinator = self.build()
+        coordinator.record_eviction(["a0", "a1"], "b0")
+        first = coordinator.merge()
+        second = coordinator.merge()
+        assert first is second
+        assert sim.metrics.counter("directory.merges") == 1
+
+    def test_snapshots_round_trip_through_the_invariant_replay(self):
+        # The invariant monitor rebuilds SideDirectory objects from the
+        # recorded snapshots and recomputes the merge; the recomputation
+        # over a snapshot must equal the live decision.
+        sim, coordinator = self.build()
+        coordinator.record_join("m", host_side=1)
+        coordinator.record_eviction(["a0", "a1"], "m")  # cross-side: deferred
+        live = coordinator.merge()
+        rebuilt = [
+            SideDirectory(
+                side_index=snapshot["side_index"],
+                members=frozenset(snapshot["members"]),
+                joined=set(snapshot["joined"]),
+                left=set(snapshot["left"]),
+                evicted=set(snapshot["evicted"]),
+            )
+            for snapshot in coordinator.side_snapshots()
+        ]
+        assert merge_directories(rebuilt) == live
+        assert live.revoked == frozenset({"m"})
