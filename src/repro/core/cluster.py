@@ -91,11 +91,13 @@ class AtumCluster:
         # Every hook below is guarded by ``is not None`` so unmonitored runs
         # pay a single attribute check per membership event.
         self.monitor = None
-        # Split-brain bookkeeping (repro.overlay.directory): non-None only
-        # between cluster.split() and cluster.merge(); clusters that never
-        # split carry no coordinator and stay byte-identical.
-        self._split_brain: Optional[SplitBrainCoordinator] = None
-        self._split_brain_network_id: Optional[int] = None
+        # Split-brain bookkeeping (repro.overlay.directory): one coordinator
+        # per *active* split, keyed by the network split id, so overlapping
+        # concurrent splits each keep their own per-side books.  Populated
+        # only between cluster.split() and the matching cluster.merge();
+        # clusters that never split carry no coordinator and stay
+        # byte-identical.
+        self._split_brains: Dict[int, SplitBrainCoordinator] = {}
         # One record per completed reconciliation, for the invariant
         # monitor's post-run directory-convergence check.
         self._directory_reconciliations: List[Dict[str, Any]] = []
@@ -223,16 +225,22 @@ class AtumCluster:
             return
         self._eviction_requests.add(peer)
         self._suspicions.pop(peer, None)
-        if self._split_brain is not None and not self._split_brain.record_eviction(
-            reporters, peer
-        ):
+        if self._split_brains:
             # Cross-side eviction during a split: the deciding side cannot
             # reach the target *because of the split*, not because the
             # target failed.  The conviction is recorded in the deciding
             # side's directory and enforced at merge (evicted-on-either-
             # side stays evicted) instead of dismantling overlay state the
-            # other side is actively using.
-            return
+            # other side is actively using.  With overlapping splits the
+            # eviction executes only if *every* active coordinator deems it
+            # same-side — each is recorded regardless (no short-circuit),
+            # so every deferring split enforces the conviction at its heal.
+            allowed = True
+            for _, coordinator in sorted(self._split_brains.items()):
+                if not coordinator.record_eviction(reporters, peer):
+                    allowed = False
+            if not allowed:
+                return
         if self.monitor is not None:
             self.monitor.on_eviction(peer)
         self.engine.leave(peer, eviction=True)
@@ -246,30 +254,44 @@ class AtumCluster:
         :class:`~repro.overlay.directory.SplitBrainCoordinator`: each side
         keeps processing joins and evictions independently, cross-side
         evictions are deferred, and :meth:`merge` reconciles the sides
-        deterministically at heal.  Returns the network split id.
+        deterministically at heal.  Splits compose: calling ``split``
+        again while one is active installs an *overlapping* split with
+        its own coordinator (the network drops a message iff any active
+        split separates the endpoints), and each heal reconciles only its
+        own coordinator.  Returns the network split id.
         """
         frozen = [tuple(side) for side in sides]
         split_id = self.network.split(frozen)
-        self._split_brain = SplitBrainCoordinator(self.sim, frozen)
-        self._split_brain_network_id = split_id
+        self._split_brains[split_id] = SplitBrainCoordinator(self.sim, frozen)
         return split_id
 
     def merge(self, split_id: Optional[int] = None) -> Optional[MergeDecision]:
-        """Heal the split and reconcile the per-side directories.
+        """Heal a split and reconcile its per-side directories.
 
         The merge is deterministic: evicted-on-either-side stays evicted
         (still-member addresses in the merged eviction set are evicted
         now), and joins are re-validated against the merged view — a
-        joiner convicted on the other side is revoked.  Returns the
+        joiner convicted on the other side is revoked.  With ``split_id``
+        ``None``, every active split heals (in split-id order).  Because
+        enforcement only routes departures to the remaining coordinators
+        — and leaves never feed a merge decision — the decisions are
+        identical under every heal order.  Returns the last
         :class:`~repro.overlay.directory.MergeDecision` (``None`` when no
         coordinator was armed).
         """
-        self.network.merge(
-            split_id if split_id is not None else self._split_brain_network_id
-        )
-        coordinator = self._split_brain
-        self._split_brain = None
-        self._split_brain_network_id = None
+        if split_id is None:
+            if not self._split_brains:
+                self.network.merge(None)
+                return None
+            decision = None
+            for active_id in sorted(self._split_brains):
+                decision = self._merge_one(active_id)
+            return decision
+        return self._merge_one(split_id)
+
+    def _merge_one(self, split_id: int) -> Optional[MergeDecision]:
+        self.network.merge(split_id)
+        coordinator = self._split_brains.pop(split_id, None)
         if coordinator is None:
             return None
         decision = coordinator.merge()
@@ -463,8 +485,8 @@ class AtumCluster:
         return
 
     def _on_node_left(self, address: str) -> None:
-        if self._split_brain is not None:
-            self._split_brain.record_leave(address)
+        for _, coordinator in sorted(self._split_brains.items()):
+            coordinator.record_leave(address)
         node = self.nodes.get(address)
         if node is not None:
             node.clear_membership()
@@ -480,11 +502,15 @@ class AtumCluster:
         node = self.nodes.get(address)
         if node is not None and view is not None:
             node.install_view(view)
-        coordinator = self._split_brain
-        if coordinator is not None and view is not None:
+        if view is None:
+            return
+        for split_id, coordinator in sorted(self._split_brains.items()):
             # The join was processed by the side hosting the target group:
             # bind the joiner there (network-level too, so its traffic
             # respects the split like any physically-placed machine's).
+            # Each overlapping split binds independently — the host group
+            # may straddle one split while sitting inside one side of
+            # another.
             sides = [
                 s
                 for s in (
@@ -496,10 +522,8 @@ class AtumCluster:
             if sides:
                 host_side = max(sorted(set(sides)), key=sides.count)
             bound = coordinator.record_join(address, host_side)
-            if bound is not None and self._split_brain_network_id is not None:
-                self.network.bind_to_split(
-                    self._split_brain_network_id, address, bound
-                )
+            if bound is not None:
+                self.network.bind_to_split(split_id, address, bound)
 
 
 __all__ = ["AtumCluster"]

@@ -43,6 +43,10 @@ class AtumParameters:
             (:mod:`repro.smr.checkpoint`); ``0`` (the default) disables
             checkpointing and state transfer, keeping legacy deployments
             byte-identical.  Only meaningful with the Async engine.
+        adaptive_quarantine: When True, the state-transfer request layer's
+            responder-quarantine threshold adapts to the observed fault
+            rate (:class:`repro.net.requests.RequestPolicy`); off by
+            default so legacy deployments stay byte-identical.
     """
 
     hc: int = 5
@@ -56,6 +60,7 @@ class AtumParameters:
     heartbeat_period: float = 60.0
     expected_system_size: int = 800
     checkpoint_interval: int = 0
+    adaptive_quarantine: bool = False
 
     def __post_init__(self) -> None:
         if self.gmin > self.gmax:
@@ -161,6 +166,7 @@ class AtumParameters:
             round_duration=self.round_duration,
             request_timeout=self.request_timeout,
             checkpoint_interval=self.checkpoint_interval,
+            adaptive_quarantine=self.adaptive_quarantine,
         )
 
     def cost_model(self, network_latency: float = 0.001) -> GroupCostModel:

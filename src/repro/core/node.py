@@ -237,12 +237,31 @@ class AtumNode(Actor):
         Called by the cluster whenever the membership engine changes the
         composition of the vgroup this node belongs to.
         """
+        previous_view = self.vgroup_view
         self.vgroup_view = view
         if self.replica is None:
             self.replica = self._make_replica(view)
+            if hasattr(self.replica, "epoch"):
+                # Join the group at ITS epoch, not at a fresh zero —
+                # epoch-stamped messages from co-members would otherwise
+                # be filtered until enough reconfigurations caught us up.
+                self.replica.epoch = view.epoch
         else:
-            self.replica.members = list(view.members)
-            self.replica.reconfigure(view.members)
+            # Do NOT pre-assign replica.members here: reconfigure captures
+            # the outgoing membership from it to stamp epoch-transition
+            # records, and overwriting first would make every record claim
+            # prev_members == members, breaking chain verification.
+            self.replica.reconfigure(
+                view.members,
+                epoch=view.epoch,
+                # Shuffling re-homes a node into a different vgroup while
+                # keeping its replica object; the outgoing certificates
+                # describe the OLD group's log and must not be re-anchored.
+                carry_certificates=(
+                    previous_view is not None
+                    and previous_view.group_id == view.group_id
+                ),
+            )
         if (
             self.heartbeats is not None
             and not self.heartbeats.running

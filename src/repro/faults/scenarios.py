@@ -47,6 +47,7 @@ from repro.faults.plan import (
 )
 from repro.group.antientropy import AntiEntropyConfig
 from repro.net.requests import RequestPolicy
+from repro.overlay.membership import MembershipError
 from repro.sim.rng import derive_seed
 from repro.sim.runpar import merge_shards, run_sharded
 from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
@@ -102,6 +103,15 @@ class Scenario:
             larger vgroups — because the strict-minority bound is
             *supposed* to fail with high probability when vgroups are far
             below ``k * log2(N)``.
+        adaptive_quarantine: Feed the request layer's quarantine threshold
+            from the observed per-window fault rate
+            (:class:`repro.net.requests.RequestPolicy`): hostile periods
+            tighten it toward the floor, quiet ones relax it back.  Off by
+            default so the static-threshold rows replay byte-identically.
+        shuffle: Membership shuffling on leaves (the paper's anti-targeting
+            defense; default on).  The epoch-crossing row disables it so
+            the reconfiguring vgroup keeps a stable core and the
+            transition-chain recovery under test actually spans epochs.
     """
 
     name: str
@@ -125,6 +135,8 @@ class Scenario:
     attack_threshold: Optional[float] = None
     gmin: int = 3
     gmax: int = 6
+    adaptive_quarantine: bool = False
+    shuffle: bool = True
 
     def __post_init__(self) -> None:
         if self.smr not in ("sync", "async"):
@@ -469,6 +481,73 @@ def _plan_kitchen_sink(
     )
 
 
+def _plan_epoch_crossing(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Isolate one replica of the largest vgroup across TWO reconfigurations.
+
+    A member of the largest vgroup is cut off alone (side-preserving, so
+    its broadcasts still count toward the delivery bound) while two of its
+    co-members leave the system.  Each leave advances the vgroup's epoch,
+    so by the heal the laggard's certified state is two epochs stale and
+    catching up requires verifying a chain of quorum-signed
+    epoch-transition records — the ISSUE-7 recovery path.  Scenarios
+    running this plan should set ``shuffle=False``: shuffling would
+    re-home the survivors on each leave and dissolve the very group whose
+    transition chain is under test.
+    """
+    engine = cluster.engine
+    group_id = max(
+        sorted(engine.groups), key=lambda gid: len(engine.groups[gid].members)
+    )
+    members = sorted(engine.groups[group_id].members)
+    laggard = members[0]
+    leavers = members[1:3] if len(members) >= 5 else []
+    others = tuple(
+        address for address in sorted(cluster.engine.node_group) if address != laggard
+    )
+    for when, leaver in zip((10.0, 14.0), leavers):
+
+        def leave(address=leaver):
+            try:
+                cluster.engine.leave(address)
+            except MembershipError:
+                # Already gone — churn or an earlier fault removed it.
+                pass
+
+        cluster.sim.schedule(when, leave, tag="plan.epoch_crossing.leave")
+    return FaultPlan(
+        partitions=(
+            Partition(sides=(others, (laggard,)), start=5.0, heal_at=18.0),
+        )
+    )
+
+
+def _plan_overlapping_splits(
+    scenario: Scenario, cluster: AtumCluster, rng: random.Random
+) -> FaultPlan:
+    """Two concurrent, *overlapping* side-preserving splits.
+
+    A random bisection opens first; while it is still in force a parity
+    bisection (even vs odd ranks) opens over the same node set, so each
+    node is constrained by the intersection of two independent cuts.  The
+    splits heal in the order they opened, exercising the multi-split
+    coordinator's cascaded, order-independent reconciliation.
+    """
+    addresses = sorted(cluster.engine.node_group)
+    shuffled = list(addresses)
+    rng.shuffle(shuffled)
+    half = len(shuffled) // 2
+    random_cut = (tuple(sorted(shuffled[:half])), tuple(sorted(shuffled[half:])))
+    parity_cut = (tuple(addresses[0::2]), tuple(addresses[1::2]))
+    return FaultPlan(
+        partitions=(
+            Partition(sides=random_cut, start=0.6, heal_at=6.0),
+            Partition(sides=parity_cut, start=2.0, heal_at=9.0),
+        )
+    )
+
+
 PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultPlan]] = {
     "none": _plan_none,
     "partition_heal": _plan_partition_heal,
@@ -489,6 +568,8 @@ PLAN_BUILDERS: Dict[str, Callable[[Scenario, AtumCluster, random.Random], FaultP
     "split_brain_directory": _plan_split_brain_directory,
     "rejoin_eviction": _plan_rejoin_eviction,
     "slow_vgroup": _plan_slow_vgroup,
+    "epoch_crossing": _plan_epoch_crossing,
+    "overlapping_splits": _plan_overlapping_splits,
 }
 
 
@@ -631,6 +712,58 @@ def _default_scenarios() -> Dict[str, Scenario]:
             checkpoint_interval=3,
             settle_time=40.0,
         ),
+        # ISSUE-7 epoch-crossing recovery: one replica of the largest
+        # vgroup is cut off alone while two co-members leave, so its only
+        # certified checkpoint is two epochs stale by the heal and catch-up
+        # must verify the quorum-signed epoch-transition chain.  Shuffling
+        # is off so the reconfiguring vgroup keeps a stable core (see
+        # _plan_epoch_crossing); the split is side-preserving, so the full
+        # 1.0 delivery bound still applies.
+        Scenario(
+            name="broadcast/epoch_crossing_catchup",
+            workload="broadcast",
+            plan="epoch_crossing",
+            fault_fraction=0.05,
+            broadcasts=16,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=50.0,
+            shuffle=False,
+        ),
+        # Two overlapping side-preserving splits with cascaded heals: every
+        # node is constrained by the intersection of two independent cuts,
+        # and the multi-split coordinator must reconcile the directory and
+        # delivery state as each cut heals in turn.
+        Scenario(
+            name="broadcast/overlapping_splits",
+            workload="broadcast",
+            plan="overlapping_splits",
+            delivery_bound=1.0,
+            antientropy=True,
+            settle_time=45.0,
+        ),
+        # byz_transfer_garbage with the adaptive quarantine threshold: the
+        # observed per-window fault rate tightens the quarantine trigger
+        # under the garbage storm, so forgers are benched faster while the
+        # same delivery/catch-up bounds hold.
+        Scenario(
+            name="broadcast/adaptive_quarantine",
+            workload="broadcast",
+            plan="byz_transfer_garbage",
+            fault_fraction=0.34,
+            broadcasts=48,
+            interval=0.25,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            settle_time=60.0,
+            catchup_bound=30.0,
+            adaptive_quarantine=True,
+        ),
         Scenario(
             name="broadcast/lossy_links",
             workload="broadcast",
@@ -765,6 +898,29 @@ def _default_scenarios() -> Dict[str, Scenario]:
             churn_rate=10.0,
             churn_duration=60.0,
             broadcasts=8,
+            settle_time=30.0,
+            delivery_bound=0.9,
+        ),
+        # PBFT checkpointing under continuous churn: every engine-level
+        # leave reconfigures some vgroup, so certificates constantly cross
+        # epoch boundaries and the transition records formed per
+        # reconfiguration are what keep state transfer serving.  Exempt
+        # from the log-equality check (churn_broadcast always is) — the
+        # assertions are the delivery bound plus a clean monitor.
+        Scenario(
+            name="churn/epoch_checkpoint",
+            workload="churn_broadcast",
+            plan="none",
+            nodes=40,
+            smr="async",
+            checkpoint_interval=2,
+            antientropy=True,
+            churn_rate=10.0,
+            churn_duration=60.0,
+            # Dense enough that vgroups certify checkpoints *between*
+            # membership operations — otherwise reconfigurations have no
+            # certificate to carry and the row never crosses an epoch.
+            broadcasts=24,
             settle_time=30.0,
             delivery_bound=0.9,
         ),
@@ -966,6 +1122,38 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
             antientropy=True,
             attack_threshold=0.0,
         ),
+        # Deployment-scale epoch-crossing recovery: the isolated replica of
+        # the largest vgroup re-anchors a two-epoch-stale certificate via
+        # the quorum-signed transition chain while hundreds of other groups
+        # keep deciding.
+        Scenario(
+            name="nightly/epoch_crossing",
+            workload="broadcast",
+            plan="epoch_crossing",
+            nodes=nodes,
+            fault_fraction=0.05,
+            broadcasts=16,
+            interval=0.25,
+            settle_time=80.0,
+            delivery_bound=1.0,
+            antientropy=True,
+            smr="async",
+            checkpoint_interval=2,
+            shuffle=False,
+        ),
+        # Deployment-scale overlapping splits: two concurrent cuts over
+        # hundreds of nodes, healed in sequence through the multi-split
+        # coordinator.
+        Scenario(
+            name="nightly/overlapping_splits",
+            workload="broadcast",
+            plan="overlapping_splits",
+            nodes=nodes,
+            broadcasts=8,
+            settle_time=60.0,
+            delivery_bound=1.0,
+            antientropy=True,
+        ),
     ]
     return {scenario.name: scenario for scenario in entries}
 
@@ -980,6 +1168,8 @@ def _nightly_scenarios() -> Dict[str, Scenario]:
 NIGHTLY_MATRIX: List[str] = [
     "nightly/byzantine_transfer",
     "nightly/checkpoint_catchup",
+    "nightly/epoch_crossing",
+    "nightly/overlapping_splits",
     "nightly/partition_heal",
     "nightly/rejoin_attack",
     "nightly/rejoin_eviction",
@@ -1083,12 +1273,14 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         heartbeat_period=scenario.heartbeat_period,
         smr_kind=SmrKind.ASYNC if scenario.smr == "async" else SmrKind.SYNC,
         checkpoint_interval=scenario.checkpoint_interval,
+        adaptive_quarantine=scenario.adaptive_quarantine,
     )
     cluster = AtumCluster(
         params,
         seed=seed,
         enable_heartbeats=scenario.heartbeats,
         antientropy=AntiEntropyConfig() if scenario.antientropy else None,
+        shuffle_enabled=scenario.shuffle,
     )
     monitor = InvariantMonitor()
     cluster.attach_monitor(monitor)
@@ -1231,6 +1423,10 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         )
         delivery_bound_met = delivery_bound_met and catchup_bound_met
     slowdown_hist = metrics.histogram("membership.slowdown_penalty")
+    # Observed at every fault-rate window roll; with the static policy the
+    # histogram is flat at the configured threshold, with adaptive_quarantine
+    # the min shows how far hostile windows tightened it toward the floor.
+    quarantine_hist = metrics.histogram("req.quarantine_threshold")
 
     return {
         "scenario": scenario.name,
@@ -1250,6 +1446,13 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         "catchup_theory": _catchup_theory_for(scenario),
         "slowdown_penalty_mean": slowdown_hist.mean if slowdown_hist.count else None,
         "slowdown_penalty_max": slowdown_hist.maximum if slowdown_hist.count else None,
+        "adaptive_quarantine": scenario.adaptive_quarantine,
+        "quarantine_threshold_min": (
+            quarantine_hist.minimum if quarantine_hist.count else None
+        ),
+        "quarantine_threshold_mean": (
+            quarantine_hist.mean if quarantine_hist.count else None
+        ),
         "seed": seed,
         "system_size": cluster.engine.system_size,
         "group_count": cluster.engine.group_count,
@@ -1299,6 +1502,12 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
             "smr.checkpoint.rejected": metrics.counter("smr.checkpoint.rejected"),
             "smr.checkpoint.state_requests": metrics.counter(
                 "smr.checkpoint.state_requests"
+            ),
+            "smr.checkpoint.epoch_transitions": metrics.counter(
+                "smr.checkpoint.epoch_transitions"
+            ),
+            "smr.checkpoint.anchors_adopted": metrics.counter(
+                "smr.checkpoint.anchors_adopted"
             ),
             "req.sent": metrics.counter("req.sent"),
             "req.completed": metrics.counter("req.completed"),
@@ -1367,6 +1576,11 @@ def scenario_shard(seed: int, name: str) -> Dict[str, Any]:
         histograms["scenario.catchup_latency"] = [row["catchup_latency_max"]]
     if row["slowdown_penalty_max"] is not None:
         histograms["scenario.slowdown_penalty"] = [row["slowdown_penalty_max"]]
+    if row["quarantine_threshold_min"] is not None:
+        histograms["scenario.quarantine_threshold"] = [
+            row["quarantine_threshold_min"],
+            row["quarantine_threshold_mean"],
+        ]
     return {"counters": counters, "histograms": histograms}
 
 
@@ -1416,6 +1630,7 @@ def run_matrix(
         rejoin_excess_hist = merged["histograms"].get("scenario.rejoin_max_excess")
         catchup_hist = merged["histograms"].get("scenario.catchup_latency")
         slowdown_hist = merged["histograms"].get("scenario.slowdown_penalty")
+        quarantine_hist = merged["histograms"].get("scenario.quarantine_threshold")
         theory = scenario_robustness_row(
             system_size=scenario.growth_target
             if scenario.workload == "growth"
@@ -1442,6 +1657,10 @@ def run_matrix(
                 "two_sided_split",
                 "split_brain_directory",
                 "slow_vgroup",
+                # Side-preserving cuts plus voluntary leaves: every node
+                # stays live and correct throughout.
+                "epoch_crossing",
+                "overlapping_splits",
             )
             else 0.0,
             synchronous=scenario.smr != "async",
@@ -1465,6 +1684,13 @@ def run_matrix(
                 "catchup_theory": _catchup_theory_for(scenario),
                 "max_slowdown_penalty": (
                     slowdown_hist.maximum if slowdown_hist else None
+                ),
+                "adaptive_quarantine": scenario.adaptive_quarantine,
+                "min_quarantine_threshold": (
+                    quarantine_hist.minimum if quarantine_hist else None
+                ),
+                "mean_quarantine_threshold": (
+                    quarantine_hist.mean if quarantine_hist else None
                 ),
                 "seeds": list(seeds),
                 "violations": counters.get("scenario.violations", 0.0),

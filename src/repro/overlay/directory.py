@@ -26,8 +26,12 @@ module makes the per-side divergence explicit and the heal deterministic:
 
 The coordinator is pure bookkeeping: it owns no RNG and schedules nothing,
 so clusters that never split carry no new state and stay byte-identical.
-One split at a time is supported (matching every scenario in the matrix);
-overlapping splits would need per-split directories keyed by split id.
+Overlapping concurrent splits are supported by running one coordinator per
+split id (see :meth:`repro.core.cluster.AtumCluster.split`): each heal
+merges only its own coordinator, an eviction executes only if *every*
+active coordinator agrees it is same-side, and because leaves never feed
+the merge decision, the decisions are identical under every heal order —
+property-tested in ``tests/test_directory.py``.
 """
 
 from __future__ import annotations
@@ -179,23 +183,37 @@ class SplitBrainCoordinator:
         Returns True when the deciding majority and the target share a
         side (or either is outside the split): the eviction is recorded
         and proceeds as usual.  Returns False for a cross-side eviction:
-        it is recorded in the *deciding* side's directory and deferred —
+        it is recorded in the *deciding* sides' directories and deferred —
         the merge enforces it at heal (evicted-on-either-side stays
         evicted), but executing it mid-split would dismantle overlay
         state the other side is actively using.
+
+        Deciders may span sides — e.g. a suspicion majority assembled
+        from reports that straddle an already-healed overlapping split.
+        The rule is membership-local: the eviction executes iff *some*
+        decider shares the target's side (that side's majority really can
+        observe the target), so stale off-side deciders can never veto an
+        on-side majority into an eternal deferral.
         """
-        decider_side: Optional[int] = None
-        for decider in sorted(deciders):
-            decider_side = self._side_of.get(decider)
-            if decider_side is not None:
-                break
+        decider_sides = sorted(
+            {
+                side
+                for side in (self._side_of.get(decider) for decider in deciders)
+                if side is not None
+            }
+        )
         target_side = self._side_of.get(target)
-        if decider_side is None or target_side is None or decider_side == target_side:
-            side = target_side if target_side is not None else decider_side
+        if target_side is None or not decider_sides or target_side in decider_sides:
+            side = (
+                target_side
+                if target_side is not None
+                else (decider_sides[0] if decider_sides else None)
+            )
             if side is not None:
                 self.sides[side].record(self.sim.now, "evict", target)
             return True
-        self.sides[decider_side].record(self.sim.now, "evict_deferred", target)
+        for side in decider_sides:
+            self.sides[side].record(self.sim.now, "evict_deferred", target)
         self.sim.metrics.increment("directory.evictions_deferred")
         return False
 

@@ -54,6 +54,11 @@ class SmrConfig:
         checkpoint_announce_period: Interval of the stable-checkpoint
             announce timer (the liveness path for replicas that were cut
             off while the checkpoint formed).
+        adaptive_quarantine: Forwarded into the checkpoint manager's
+            :class:`repro.net.requests.RequestPolicy`: when True, the
+            responder scoreboard's quarantine threshold adapts to the
+            observed per-window fault rate (hostile tightens, quiet
+            relaxes).  Off by default so legacy runs stay byte-identical.
 
     State-transfer retry timing is no longer a fixed constant here: it
     lives in :class:`repro.net.requests.RequestPolicy` (rotation,
@@ -67,6 +72,7 @@ class SmrConfig:
     max_instances: int = 10_000
     checkpoint_interval: int = 0
     checkpoint_announce_period: float = 2.0
+    adaptive_quarantine: bool = False
 
 
 class SmrReplica(abc.ABC):
@@ -152,11 +158,23 @@ class SmrReplica(abc.ABC):
     def on_message(self, payload: Any, sender: str) -> None:
         """Handle an SMR protocol message from a group peer."""
 
-    def reconfigure(self, new_members: Sequence[str]) -> None:
+    def reconfigure(
+        self,
+        new_members: Sequence[str],
+        epoch: Optional[int] = None,
+        carry_certificates: bool = True,
+    ) -> None:
         """Install a new membership (SMART-style epoch change).
 
         Engines override this to reset in-flight state; the base implementation
-        just replaces the member list.
+        just replaces the member list.  ``epoch``, when given, is the
+        group-synchronized epoch number to adopt (the vgroup view's epoch) —
+        without it, epoch-aware engines fall back to a local ``+1`` counter,
+        which diverges across co-members whose replicas lived through a
+        different number of views.  ``carry_certificates=False`` tells
+        checkpoint-capable engines the replica was re-homed into a *different*
+        group, so the outgoing epoch's certificates must die rather than be
+        re-anchored into a group they never described.
         """
         self.members = list(new_members)
 

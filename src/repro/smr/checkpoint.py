@@ -117,6 +117,49 @@ class CheckpointAnnounce:
     # forever.  The announce is the only traffic guaranteed to flow to a
     # quiet straggler, so it carries the view.
     view: int = 0
+    # Empty for an own-epoch certificate; the re-anchoring transition
+    # chain when the certificate was carried across reconfigurations
+    # (see EpochTransition below).
+    transitions: Tuple["EpochTransition", ...] = ()
+
+
+@dataclass(frozen=True)
+class EpochTransition:
+    """A quorum-signed re-anchoring of a certificate into a new epoch.
+
+    Certificates are signed over their epoch, and a reconfiguration may
+    replace the very members that signed them — so on entering epoch
+    ``new_epoch``, ``2f + 1`` of the *new* membership countersign the best
+    certificate carried out of the outgoing epoch.  A contiguous chain of
+    these records (one per epoch crossed, no gaps) is what lets a replica
+    isolated across several reconfigurations verify an old-epoch
+    certificate all the way back to the epoch that minted it: each link's
+    ``prev_members`` attests the membership that must have signed the link
+    below, and the top link is checked against the verifier's own current
+    membership.
+    """
+
+    new_epoch: int
+    members: Tuple[str, ...]        # new membership (sorted) that signed
+    prev_members: Tuple[str, ...]   # outgoing membership (sorted)
+    certificate: CheckpointCertificate  # the certificate being re-anchored
+    signatures: Tuple[Signature, ...]
+
+    @property
+    def signers(self) -> Tuple[str, ...]:
+        return tuple(signature.signer for signature in self.signatures)
+
+
+@dataclass(frozen=True)
+class EpochTransitionVote:
+    """One new-epoch member's signature toward an :class:`EpochTransition`."""
+
+    new_epoch: int
+    members: Tuple[str, ...]
+    prev_members: Tuple[str, ...]
+    certificate: CheckpointCertificate
+    replica: str
+    signature: Signature
 
 
 @dataclass(frozen=True)
@@ -130,17 +173,49 @@ class StateTransferRequest:
 
 @dataclass(frozen=True)
 class StateTransferResponse:
-    """The certified prefix ``[base_count, certificate.seq)`` of the log."""
+    """The certified prefix ``[base_count, certificate.seq)`` of the log.
+
+    ``transitions`` is empty when the certificate belongs to the current
+    epoch; for a cross-epoch certificate it carries the contiguous
+    transition chain that re-anchors it into the receiver's epoch.
+    """
 
     epoch: int
     certificate: CheckpointCertificate
     base_count: int
     operations: Tuple["Operation", ...]
+    transitions: Tuple[EpochTransition, ...] = ()
 
 
 def checkpoint_statement(epoch: int, seq: int, state_digest: str) -> Tuple:
     """The statement a checkpoint signature covers."""
     return ("pbft-checkpoint", epoch, seq, state_digest)
+
+
+def transition_statement(
+    new_epoch: int,
+    members: Sequence[str],
+    prev_members: Sequence[str],
+    certificate: CheckpointCertificate,
+) -> Tuple:
+    """The statement an epoch-transition signature covers."""
+    return (
+        "pbft-epoch-transition",
+        new_epoch,
+        tuple(members),
+        tuple(prev_members),
+        certificate.epoch,
+        certificate.seq,
+        certificate.state_digest,
+    )
+
+
+def _quorum_of(members: Sequence[str]) -> int:
+    """2f+1 for an arbitrary membership tuple (1 for singletons)."""
+    count = len(members)
+    if count <= 1:
+        return 1
+    return 2 * ((count - 1) // 3) + 1
 
 
 def state_digest_of(operations: Sequence["Operation"], interval: int) -> str:
@@ -203,6 +278,19 @@ class CheckpointManager:
         # The stable certificate this one replaced: kept only so a
         # `stale_cert` adversary has something genuinely old to serve.
         self.previous_stable: Optional[CheckpointCertificate] = None
+        # Epoch-crossing anchor: the best certificate carried out of an
+        # earlier epoch, plus the contiguous transition chain (oldest
+        # first, one record per epoch crossed) that re-anchors it into the
+        # current epoch.  Superseded as soon as an own-epoch certificate
+        # forms.
+        self.anchor: Optional[CheckpointCertificate] = None
+        self.transitions: list = []
+        # Transition votes for the current epoch: statement digest ->
+        # signer -> vote; plus the statements we already signed (own
+        # proposal or f+1-backed countersign), so each replica signs a
+        # statement at most once per epoch.
+        self._transition_votes: Dict[str, Dict[str, EpochTransitionVote]] = {}
+        self._transition_signed: set = set()
         # Retries, rotation, backoff and the responder scoreboard live in
         # the unified request layer; built only when checkpointing is on,
         # so disabled runs stay byte-identical.
@@ -216,7 +304,11 @@ class CheckpointManager:
                 replica.sim,
                 replica.node_id,
                 replica.send_fn,
-                policy=RequestPolicy(),
+                policy=RequestPolicy(
+                    adaptive_quarantine=getattr(
+                        replica.config, "adaptive_quarantine", False
+                    ),
+                ),
                 stream_name=f"requests.ckpt.{replica.node_id}",
             )
         # Tail catch-up state: how long our log has been frozen below a
@@ -240,8 +332,52 @@ class CheckpointManager:
 
     @property
     def stable_seq(self) -> int:
-        """Sequence (decided-op count) of the stable checkpoint (0 = none)."""
-        return self.stable.seq if self.stable is not None else 0
+        """Sequence (decided-op count) of the best certified checkpoint.
+
+        Counts the cross-epoch anchor too: for gap detection and serving
+        it is as good as an own-epoch stable checkpoint (its transition
+        chain makes it verifiable in the current epoch).
+        """
+        best = self.best_certificate()
+        return best.seq if best is not None else 0
+
+    def best_certificate(self) -> Optional[CheckpointCertificate]:
+        """The highest certified checkpoint known (own-epoch or anchored)."""
+        stable, anchor = self.stable, self.anchor
+        if stable is None:
+            return anchor
+        if anchor is None or stable.seq >= anchor.seq:
+            return stable
+        return anchor
+
+    def _serving_chain(
+        self,
+    ) -> Tuple[Optional[CheckpointCertificate], Tuple["EpochTransition", ...]]:
+        """The (certificate, transition chain) this replica can serve.
+
+        An own-epoch stable checkpoint needs no chain.  The cross-epoch
+        anchor is servable only while its chain is complete — one record
+        per epoch from the anchor's epoch up to the current one, all
+        re-anchoring exactly the anchor — because receivers reject
+        anything less (``skipped_epoch``).
+        """
+        stable, anchor = self.stable, self.anchor
+        if stable is not None and (anchor is None or stable.seq >= anchor.seq):
+            return stable, ()
+        if anchor is None:
+            return None, ()
+        chain = tuple(self.transitions)
+        expected = list(range(anchor.epoch + 1, self.replica.epoch + 1))
+        if [record.new_epoch for record in chain] != expected:
+            return None, ()
+        top = chain[-1].certificate if chain else None
+        if top is None or (top.epoch, top.seq, top.state_digest) != (
+            anchor.epoch,
+            anchor.seq,
+            anchor.state_digest,
+        ):
+            return None, ()
+        return anchor, chain
 
     @property
     def transfer_blocking(self) -> bool:
@@ -386,6 +522,188 @@ class CheckpointManager:
             )
             self._adopt_stable(certificate)
 
+    # -------------------------------------------------------- epoch transitions
+
+    def on_epoch_change(self, prev_members: Sequence[str]) -> None:
+        """The replica just entered a new epoch (reconfiguration installed).
+
+        Epoch-scoped state resets as before, but the best certificate of
+        the outgoing epoch — own stable or inherited anchor, with its
+        chain — survives as the new anchor, and a transition vote over it
+        is broadcast so 2f+1 of the *new* membership re-anchor it into
+        this epoch.  Without this, a quiet group after a reconfiguration
+        has nothing certified to serve and an isolated replica could
+        never catch up until fresh traffic minted a new checkpoint.
+        """
+        outgoing = self.best_certificate()
+        carried = list(self.transitions) if self.anchor is not None else []
+        if self.stable is not None and (
+            self.anchor is None or self.stable.seq >= self.anchor.seq
+        ):
+            carried = []
+        self.reset_for_epoch()
+        if outgoing is None:
+            return
+        self.anchor = outgoing
+        self.transitions = carried
+        self._propose_transition(outgoing, tuple(sorted(prev_members)))
+
+    def _propose_transition(
+        self, certificate: CheckpointCertificate, prev_members: Tuple[str, ...]
+    ) -> None:
+        replica = self.replica
+        members = tuple(sorted(replica.members))
+        statement = transition_statement(
+            replica.epoch, members, prev_members, certificate
+        )
+        key = digest_object(statement)
+        self._transition_signed.add(key)
+        vote = EpochTransitionVote(
+            new_epoch=replica.epoch,
+            members=members,
+            prev_members=prev_members,
+            certificate=certificate,
+            replica=replica.node_id,
+            signature=replica.registry.sign(replica.node_id, statement),
+        )
+        self._metrics().increment("smr.checkpoint.transition_votes")
+        replica._broadcast(vote)
+        self._record_transition_vote(vote, key)
+
+    def on_transition_vote(self, message: EpochTransitionVote, sender: str) -> None:
+        replica = self.replica
+        if message.new_epoch != replica.epoch:
+            return
+        if message.replica != sender and sender != replica.node_id:
+            self._reject("transition_relayed_vote")
+            return
+        if message.replica not in replica.members:
+            self._reject("transition_non_member")
+            return
+        if tuple(message.members) != tuple(sorted(replica.members)):
+            self._reject("transition_mismatch")
+            return
+        certificate = message.certificate
+        if (
+            not isinstance(certificate, CheckpointCertificate)
+            or certificate.epoch >= replica.epoch
+            or certificate.seq < 1
+        ):
+            self._reject("bad_transition")
+            return
+        statement = transition_statement(
+            message.new_epoch, message.members, message.prev_members, certificate
+        )
+        if message.signature.signer != message.replica or not replica.registry.verify(
+            message.signature, statement
+        ):
+            self._reject("transition_bad_signature")
+            return
+        # The embedded certificate must verify against the membership the
+        # vote claims signed it, or votes could launder a forged
+        # certificate into a quorum-signed transition.  A certificate
+        # minted in the immediately-outgoing epoch raw-verifies against
+        # ``prev_members``.  An OLDER certificate (a quiet group whose
+        # anchor already crossed a boundary) was never signed by
+        # ``prev_members`` — different replicas even hold copies with
+        # different 2f+1 signature subsets, some naming since-departed
+        # members.  For those, a voter vouches from its own carried
+        # anchor: it reached this epoch holding the same certified
+        # (epoch, seq, digest), so its own transition chain already
+        # authenticates the content regardless of which signature copy
+        # the vote embeds.
+        if certificate.epoch == message.new_epoch - 1:
+            if not self._certificate_valid_for(certificate, tuple(message.prev_members)):
+                self._reject("bad_transition")
+                return
+        else:
+            anchor = self.anchor
+            if anchor is None or (
+                anchor.epoch,
+                anchor.seq,
+                anchor.state_digest,
+            ) != (certificate.epoch, certificate.seq, certificate.state_digest):
+                self._reject("bad_transition")
+                return
+        self._record_transition_vote(message, digest_object(statement))
+
+    def _record_transition_vote(self, vote: EpochTransitionVote, key: str) -> None:
+        replica = self.replica
+        votes = self._transition_votes.setdefault(key, {})
+        votes[vote.replica] = vote
+        if (
+            replica.node_id not in votes
+            and key not in self._transition_signed
+            and len(votes) >= replica.fault_threshold + 1
+        ):
+            # Countersign: a member that cannot vouch for the outgoing
+            # epoch itself (fresh joiner, or a straggler with no anchor)
+            # joins once f+1 current members back the same statement — at
+            # least one of them is correct, and the embedded certificate
+            # already verified against the claimed outgoing membership.
+            self._transition_signed.add(key)
+            statement = transition_statement(
+                vote.new_epoch, vote.members, vote.prev_members, vote.certificate
+            )
+            own = EpochTransitionVote(
+                new_epoch=vote.new_epoch,
+                members=vote.members,
+                prev_members=vote.prev_members,
+                certificate=vote.certificate,
+                replica=replica.node_id,
+                signature=replica.registry.sign(replica.node_id, statement),
+            )
+            self._metrics().increment("smr.checkpoint.transition_votes")
+            replica._broadcast(own)
+            votes[replica.node_id] = own
+        quorum = _quorum_of(replica.members)
+        if len(votes) < quorum:
+            return
+        record = EpochTransition(
+            new_epoch=vote.new_epoch,
+            members=vote.members,
+            prev_members=vote.prev_members,
+            certificate=vote.certificate,
+            signatures=tuple(votes[signer].signature for signer in sorted(votes)),
+        )
+        self._adopt_transition(record)
+
+    def _adopt_transition(self, record: EpochTransition) -> None:
+        """A quorum formed for this epoch's transition record."""
+        existing = next(
+            (t for t in self.transitions if t.new_epoch == record.new_epoch), None
+        )
+        if existing is not None and (
+            existing.certificate.seq >= record.certificate.seq
+        ):
+            return
+        if existing is not None:
+            self.transitions = [
+                t for t in self.transitions if t.new_epoch != record.new_epoch
+            ]
+        self.transitions.append(record)
+        self.transitions.sort(key=lambda t: t.new_epoch)
+        self._metrics().increment("smr.checkpoint.epoch_transitions")
+        certificate = record.certificate
+        if self.anchor is None or certificate.seq > self.anchor.seq:
+            # The quorum re-anchored a newer certificate than ours (a peer
+            # entered the epoch with a fresher stable checkpoint): adopt
+            # it, keeping only chain links that re-anchor it, and chase
+            # the gap if it outruns our log.
+            self.anchor = certificate
+            self.transitions = [
+                t
+                for t in self.transitions
+                if (
+                    t.certificate.epoch,
+                    t.certificate.seq,
+                    t.certificate.state_digest,
+                )
+                == (certificate.epoch, certificate.seq, certificate.state_digest)
+            ]
+            if len(self.replica.decided_log) < certificate.seq:
+                self._begin_transfer(certificate)
+
     # ------------------------------------------------------- stable checkpoints
 
     def valid_certificate(self, certificate: Optional[CheckpointCertificate]) -> bool:
@@ -393,16 +711,30 @@ class CheckpointManager:
         if certificate is None:
             return False
         replica = self.replica
-        if certificate.epoch != replica.epoch or certificate.seq < 1:
+        if certificate.epoch != replica.epoch:
+            return False
+        return self._certificate_valid_for(certificate, replica.members)
+
+    def _certificate_valid_for(
+        self, certificate: Optional[CheckpointCertificate], members: Sequence[str]
+    ) -> bool:
+        """Certificate check against an explicit membership (epoch-agnostic).
+
+        The cross-epoch verification path supplies the *outgoing*
+        membership attested by a transition chain; the own-epoch path
+        supplies the replica's current members.
+        """
+        if not isinstance(certificate, CheckpointCertificate):
+            return False
+        replica = self.replica
+        if certificate.seq < 1:
             return False
         signers = certificate.signers
         if len(set(signers)) != len(signers):
             return False
-        members = set(replica.members)
-        if not set(signers) <= members:
+        if not set(signers) <= set(members):
             return False
-        quorum = replica._quorum_2f1() if len(replica.members) > 1 else 1
-        if len(signers) < quorum:
+        if len(signers) < _quorum_of(members):
             return False
         statement = checkpoint_statement(
             certificate.epoch, certificate.seq, certificate.state_digest
@@ -416,6 +748,86 @@ class CheckpointManager:
             for signature in certificate.signatures
         )
 
+    def _transition_chain_error(
+        self,
+        certificate: CheckpointCertificate,
+        transitions: Sequence["EpochTransition"],
+    ) -> Optional[str]:
+        """Verify a cross-epoch certificate against its transition chain.
+
+        Returns ``None`` when the chain re-anchors ``certificate`` into
+        the current epoch, or the reject-reason string otherwise.  The
+        chain must cover every epoch from the certificate's to the current
+        one with no gaps; each link must be quorum-signed by its own new
+        membership — the top link by *our* members, each lower link by the
+        membership the link above attests as outgoing — and the top link
+        must re-anchor exactly the served certificate.  Trust therefore
+        roots in the verifier's own membership knowledge, never in the
+        responder.
+        """
+        replica = self.replica
+        if not isinstance(certificate, CheckpointCertificate):
+            return "bad_certificate"
+        if certificate.epoch >= replica.epoch or certificate.epoch < 0:
+            return "bad_certificate"
+        chain = list(transitions)
+        if any(not isinstance(record, EpochTransition) for record in chain):
+            return "bad_transition"
+        expected = list(range(certificate.epoch + 1, replica.epoch + 1))
+        if [record.new_epoch for record in chain] != expected:
+            return "skipped_epoch"
+        top = chain[-1].certificate
+        if not isinstance(top, CheckpointCertificate) or (
+            top.epoch,
+            top.seq,
+            top.state_digest,
+        ) != (certificate.epoch, certificate.seq, certificate.state_digest):
+            return "transition_mismatch"
+        members: Tuple[str, ...] = tuple(sorted(replica.members))
+        previous_seq = None
+        for record in reversed(chain):
+            if tuple(record.members) != members:
+                return "transition_mismatch"
+            if not isinstance(record.certificate, CheckpointCertificate):
+                return "bad_transition"
+            # Re-anchored certificates may only grow going up the chain: a
+            # link claiming a *newer* certificate than the link above it
+            # contradicts the append-only log the chain certifies.
+            if previous_seq is not None and record.certificate.seq > previous_seq:
+                return "transition_mismatch"
+            previous_seq = record.certificate.seq
+            error = self._transition_record_error(record, members)
+            if error is not None:
+                return error
+            members = tuple(sorted(record.prev_members))
+        # `members` is now the membership of the certificate's own epoch,
+        # as attested by the bottom link: the certificate itself must
+        # verify against it.
+        if not self._certificate_valid_for(certificate, members):
+            return "bad_certificate"
+        return None
+
+    def _transition_record_error(
+        self, record: "EpochTransition", members: Sequence[str]
+    ) -> Optional[str]:
+        """Check one transition record against the membership it claims."""
+        signers = record.signers
+        if len(set(signers)) != len(signers):
+            return "bad_transition"
+        if not set(signers) <= set(members):
+            return "bad_transition"
+        if len(signers) < _quorum_of(members):
+            return "transition_under_quorum"
+        statement = transition_statement(
+            record.new_epoch, record.members, record.prev_members, record.certificate
+        )
+        if not all(
+            self.replica.registry.verify(signature, statement)
+            for signature in record.signatures
+        ):
+            return "transition_bad_signature"
+        return None
+
     def _adopt_stable(
         self, certificate: CheckpointCertificate, realign: bool = True
     ) -> None:
@@ -424,23 +836,51 @@ class CheckpointManager:
             return
         self.previous_stable = self.stable
         self.stable = certificate
+        if self.anchor is not None and certificate.seq >= self.anchor.seq:
+            # An own-epoch certificate at or past the anchor supersedes it:
+            # future transfers serve the fresh certificate chain-free, and
+            # the next reconfiguration re-anchors from here.
+            self.anchor = None
+            self.transitions = []
         metrics = self._metrics()
         metrics.increment("smr.checkpoint.stable")
-        for key in [key for key in self._votes if key[0] <= certificate.seq]:
-            del self._votes[key]
-        self.replica._gc_below_checkpoint(certificate.seq, self._positions)
-        # Positions below the stable checkpoint have no remaining consumer
-        # (their slots are gone); prune them so the map stays O(interval +
-        # tail) instead of growing with every operation ever decided.
-        for op_id in [
-            op_id
-            for op_id, position in self._positions.items()
-            if position < certificate.seq
-        ]:
-            del self._positions[op_id]
+        self._prune_below(certificate.seq)
         if len(self.replica.decided_log) < certificate.seq:
             # The certificate certifies operations we never decided: we are
             # the lagging replica.  Fetch the prefix from a certifier.
+            self._begin_transfer(certificate, realign=realign)
+
+    def _prune_below(self, seq: int) -> None:
+        """Drop votes, slots and positions a certified ``seq`` obsoletes."""
+        for key in [key for key in self._votes if key[0] <= seq]:
+            del self._votes[key]
+        self.replica._gc_below_checkpoint(seq, self._positions)
+        # Positions below the certified checkpoint have no remaining
+        # consumer (their slots are gone); prune them so the map stays
+        # O(interval + tail) instead of growing with every operation ever
+        # decided.
+        for op_id in [
+            op_id
+            for op_id, position in self._positions.items()
+            if position < seq
+        ]:
+            del self._positions[op_id]
+
+    def _adopt_anchor(
+        self,
+        certificate: CheckpointCertificate,
+        transitions: Sequence["EpochTransition"],
+        realign: bool = True,
+    ) -> None:
+        """Install a chain-verified cross-epoch certificate as the anchor."""
+        best = self.best_certificate()
+        if best is not None and certificate.seq <= best.seq:
+            return
+        self.anchor = certificate
+        self.transitions = list(transitions)
+        self._metrics().increment("smr.checkpoint.anchors_adopted")
+        self._prune_below(certificate.seq)
+        if len(self.replica.decided_log) < certificate.seq:
             self._begin_transfer(certificate, realign=realign)
 
     def on_announce(self, message: CheckpointAnnounce, sender: str) -> None:
@@ -450,13 +890,24 @@ class CheckpointManager:
             self._reject("non_member")
             return
         certificate = message.certificate
-        if certificate is not None and (
-            self.stable is None or certificate.seq > self.stable.seq
-        ):
-            if self.valid_certificate(certificate):
-                self._adopt_stable(certificate)
+        best = self.best_certificate()
+        if certificate is not None and (best is None or certificate.seq > best.seq):
+            if getattr(certificate, "epoch", None) == self.replica.epoch:
+                if self.valid_certificate(certificate):
+                    self._adopt_stable(certificate)
+                else:
+                    self._reject("bad_certificate")
             else:
-                self._reject("bad_certificate")
+                # A certificate carried across reconfigurations: adopt it
+                # (and begin a transfer if it outruns our log) only when
+                # its transition chain verifies against our membership.
+                error = self._transition_chain_error(
+                    certificate, getattr(message, "transitions", ())
+                )
+                if error is None:
+                    self._adopt_anchor(certificate, message.transitions)
+                else:
+                    self._reject(error)
         self.peer_view_seen = max(self.peer_view_seen, message.view)
         self._note_peer_log_length(message.log_length)
 
@@ -611,7 +1062,17 @@ class CheckpointManager:
         if target is None or requests is None:
             return
         replica = self.replica
-        peers = [s for s in sorted(set(target.signers)) if s != replica.node_id]
+        members = set(replica.members)
+        peers = [
+            s
+            for s in sorted(set(target.signers))
+            if s != replica.node_id and s in members
+        ]
+        if not peers:
+            # A cross-epoch target's signers belong to an earlier
+            # membership and may all be gone; any current co-member can
+            # hold the certified prefix, so rotate over them instead.
+            peers = [m for m in sorted(members) if m != replica.node_id]
         if not peers:
             return
         if self._transfer_request_id is not None:
@@ -642,18 +1103,19 @@ class CheckpointManager:
         if sender not in replica.members:
             self._reject("request_non_member")
             return None
-        stable = self.stable
-        if stable is None or stable.seq <= message.have_count:
+        certificate, transitions = self._serving_chain()
+        if certificate is None or certificate.seq <= message.have_count:
             return None  # nothing certified beyond the requester's log
-        if len(replica.decided_log) < stable.seq:
+        if len(replica.decided_log) < certificate.seq:
             return None  # we are lagging ourselves; cannot serve
-        operations = tuple(replica.decided_log[message.have_count : stable.seq])
+        operations = tuple(replica.decided_log[message.have_count : certificate.seq])
         self._metrics().increment("smr.checkpoint.state_responses")
         return StateTransferResponse(
             epoch=replica.epoch,
-            certificate=stable,
+            certificate=certificate,
             base_count=message.have_count,
             operations=operations,
+            transitions=transitions,
         )
 
     @staticmethod
@@ -705,9 +1167,22 @@ class CheckpointManager:
         if message.epoch != replica.epoch:
             return "ignore"
         certificate = message.certificate
-        if not self.valid_certificate(certificate):
-            self._reject("bad_certificate")
-            return "garbage"
+        transitions = message.transitions
+        if getattr(certificate, "epoch", None) == replica.epoch:
+            if not self.valid_certificate(certificate):
+                self._reject("bad_certificate")
+                return "garbage"
+        else:
+            # A certificate minted in an earlier epoch: only a contiguous,
+            # per-epoch-quorum-signed transition chain down to its epoch
+            # makes it trustworthy here.  Skipped epochs, under-quorum or
+            # tampered records, and chains that re-anchor a different
+            # certificate are all garbage — the responder chose to serve
+            # an unverifiable chain.
+            error = self._transition_chain_error(certificate, transitions)
+            if error is not None:
+                self._reject(error)
+                return "garbage"
         log = replica.decided_log
         if certificate.seq <= len(log):
             if self.transfer_blocking:
@@ -732,13 +1207,14 @@ class CheckpointManager:
         if self._chained_digest_with(message.operations) != certificate.state_digest:
             self._reject("digest_mismatch")
             return "garbage"
-        self._install(certificate, message.operations)
+        self._install(certificate, message.operations, transitions)
         return "ok"
 
     def _install(
         self,
         certificate: CheckpointCertificate,
         operations: Tuple["Operation", ...],
+        transitions: Tuple["EpochTransition", ...] = (),
     ) -> None:
         replica = self.replica
         metrics = self._metrics()
@@ -755,7 +1231,9 @@ class CheckpointManager:
             self._transfer_target = None
             self._realign_after_install = True
             self._gap_closed()
-        if self.stable is None or certificate.seq > self.stable.seq:
+        if certificate.epoch != replica.epoch:
+            self._adopt_anchor(certificate, transitions)
+        elif self.stable is None or certificate.seq > self.stable.seq:
             self._adopt_stable(certificate)
         if still_lagging:
             # This response served an *older* certificate than the pending
@@ -789,12 +1267,14 @@ class CheckpointManager:
         self._arm_announce_timer()
         if len(replica.members) > 1:
             self._metrics().increment("smr.checkpoint.announces")
+            certificate, transitions = self._serving_chain()
             replica._broadcast(
                 CheckpointAnnounce(
                     epoch=replica.epoch,
-                    certificate=self.stable,
+                    certificate=certificate,
                     log_length=len(replica.decided_log),
                     view=replica.view,
+                    transitions=transitions,
                 )
             )
         # Stuck-transfer retries moved to the unified request layer
@@ -807,6 +1287,8 @@ class CheckpointManager:
         """Route a checkpoint frame; returns False for other payload types."""
         if isinstance(payload, Checkpoint):
             self.on_checkpoint(payload, sender)
+        elif isinstance(payload, EpochTransitionVote):
+            self.on_transition_vote(payload, sender)
         elif isinstance(payload, CheckpointAnnounce):
             self.on_announce(payload, sender)
         elif isinstance(payload, StateTransferRequest):
@@ -850,10 +1332,16 @@ class CheckpointManager:
         The decided log (and its positions) persists across epochs — only
         the epoch-scoped certificate/vote/transfer state resets, because
         certificates are signed over the epoch and the membership that
-        signed them may be gone.
+        signed them may be gone.  :meth:`on_epoch_change` (the normal
+        reconfiguration entry point) additionally carries the outgoing
+        best certificate forward as the new epoch's anchor.
         """
         self.stable = None
         self.previous_stable = None
+        self.anchor = None
+        self.transitions = []
+        self._transition_votes.clear()
+        self._transition_signed.clear()
         self._votes.clear()
         self._transfer_target = None
         self._gap_since = -1.0
@@ -869,14 +1357,29 @@ class CheckpointManager:
         # or the next epoch's hint-path install would skip its view change.
         self._realign_after_install = True
 
+    def forget_log(self) -> None:
+        """The replica dropped its decided log (re-homed to a new group).
+
+        The incremental chain-digest cache and tail-deficit tracking fold
+        over log positions, so they must restart with the emptied log —
+        a stale cache would emit digests for operations that are gone.
+        """
+        self._chain_count = 0
+        self._chain_digest = ""
+        self._tail_seen_length = -1
+        self._tail_deficit_since = -1.0
+
 
 __all__ = [
     "Checkpoint",
     "CheckpointCertificate",
     "CheckpointAnnounce",
+    "EpochTransition",
+    "EpochTransitionVote",
     "StateTransferRequest",
     "StateTransferResponse",
     "CheckpointManager",
     "checkpoint_statement",
+    "transition_statement",
     "state_digest_of",
 ]

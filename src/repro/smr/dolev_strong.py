@@ -149,10 +149,17 @@ class SyncSmrReplica(SmrReplica):
         self._handle_relay(payload, sender)
         self._ensure_round_timer()
 
-    def reconfigure(self, new_members: Sequence[str]) -> None:
-        super().reconfigure(new_members)
+    def reconfigure(
+        self,
+        new_members: Sequence[str],
+        epoch: Optional[int] = None,
+        carry_certificates: bool = True,
+    ) -> None:
+        super().reconfigure(new_members, epoch=epoch, carry_certificates=carry_certificates)
         # In-flight instances continue with the old signer set; new instances
         # use the new membership.  This mirrors epoch-based reconfiguration.
+        # The synchronous engine has no epoch-scoped certificates, so both
+        # keyword arguments are accepted for interface parity and ignored.
 
     # ----------------------------------------------------------------- proposing
 

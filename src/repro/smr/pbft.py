@@ -234,17 +234,50 @@ class PbftReplica(SmrReplica):
         elif self.checkpoints is not None:
             self.checkpoints.handle(payload, sender)
 
-    def reconfigure(self, new_members: Sequence[str]) -> None:
-        """Install a new configuration epoch with a fresh agreement state."""
+    def reconfigure(
+        self,
+        new_members: Sequence[str],
+        epoch: Optional[int] = None,
+        carry_certificates: bool = True,
+    ) -> None:
+        """Install a new configuration epoch with a fresh agreement state.
+
+        ``epoch`` is the group-synchronized epoch to adopt (the vgroup
+        view's own counter); omitting it keeps the legacy per-replica
+        ``+1``, which only works when every co-member's replica has seen
+        the same number of reconfigurations.  Transition statements embed
+        the epoch, so divergent epochs make co-members reject each
+        other's votes and no transition record ever forms.
+        """
+        previous_members = tuple(sorted(self.members))
         super().reconfigure(new_members)
-        self.epoch += 1
+        self.epoch = self.epoch + 1 if epoch is None else epoch
         self.view = 0
         self.next_seq = 0
         self.last_executed = -1
         self._slots.clear()
         self._view_change_votes.clear()
-        if self.checkpoints is not None:
-            self.checkpoints.reset_for_epoch()
+        if carry_certificates:
+            if self.checkpoints is not None:
+                # Epoch-scoped state resets, but the outgoing epoch's best
+                # certificate is carried forward and re-anchored into this
+                # epoch by a 2f+1-of-new-members transition record.
+                self.checkpoints.on_epoch_change(previous_members)
+        else:
+            # Re-homed into a different group: the certificates AND the
+            # decided log describe agreements this group never ran.  The
+            # log's chained digest diverges from the new group's lineage
+            # at position zero, so keeping it would make every certified
+            # transfer here fail digest verification forever — the
+            # replica starts over as a fresh member and catches up
+            # through ordinary state transfer.  Nothing is delivered
+            # twice: re-executed operations dedup upstream on their
+            # broadcast id.
+            self.decided_log.clear()
+            self._executed_ops.clear()
+            if self.checkpoints is not None:
+                self.checkpoints.reset_for_epoch()
+                self.checkpoints.forget_log()
         # Pending requests survive the epoch change and are re-proposed.
         pending = list(self._pending_requests.values())
         self._pending_requests.clear()

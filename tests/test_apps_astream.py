@@ -108,3 +108,47 @@ class TestStreaming:
         # Pulls may or may not be needed depending on topology, but the
         # mechanism must never deliver an invalid chunk.
         assert atum.sim.metrics.counter("astream.invalid_chunks") == 0
+
+
+class TestSnapshots:
+    """Stream-prefix snapshot()/restore() with certified digests (ISSUE 7)."""
+
+    def build(self):
+        atum, session, addresses = make_session()
+        session.stream(duration_s=0.5)
+        atum.run(until=60.0)
+        return atum, session
+
+    def test_snapshot_restore_round_trips_a_prefix(self):
+        atum, session = self.build()
+        snapshot = session.snapshot("n5")
+        digest = session.snapshot_digest("n5")
+        assert snapshot["received"]  # the run actually delivered chunks
+        session.states["n5"].received_chunks.clear()
+        session.states["n5"].known_digests.clear()
+        assert session.restore("n5", snapshot, expected_digest=digest)
+        assert session.snapshot_digest("n5") == digest
+        assert atum.sim.metrics.counter("astream.snapshots_restored") == 1
+
+    def test_restore_rejects_truncated_prefix_under_certified_digest(self):
+        atum, session = self.build()
+        snapshot = session.snapshot("n5")
+        digest = session.snapshot_digest("n5")
+        truncated = dict(snapshot, received=snapshot["received"][:-1])
+        # The certified digest covers the full prefix: truncation is caught.
+        assert not session.restore("n7", truncated, expected_digest=digest)
+        assert atum.sim.metrics.counter("astream.snapshot_rejected") == 1
+
+    def test_restore_rejects_holey_prefix_and_forged_chunk_digests(self):
+        from repro.crypto.digest import digest_object
+
+        atum, session = self.build()
+        snapshot = session.snapshot("n5")
+        holey = dict(snapshot, received=tuple(snapshot["received"][1:]))
+        assert not session.restore("n7", holey, expected_digest=digest_object(holey))
+        forged_digests = tuple((index, "forged") for index, _ in snapshot["digests"])
+        forged = dict(snapshot, digests=forged_digests)
+        assert not session.restore("n7", forged, expected_digest=digest_object(forged))
+        wrong_stream = dict(snapshot, stream="stream-other")
+        assert not session.restore("n7", wrong_stream)
+        assert atum.sim.metrics.counter("astream.snapshot_rejected") == 3

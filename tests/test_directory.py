@@ -1,11 +1,16 @@
 """Tests for split-brain membership reconciliation (repro.overlay.directory).
 
 Unit-level: the pure merge function and the per-side bookkeeping of
-:class:`SplitBrainCoordinator`.  Cluster-level wiring (per-side recording
-during a real split, merge enforcement at heal, and the invariant
-monitor's replay of the recorded directories) is exercised through the
-``broadcast/split_brain_directory`` scenario in ``test_faults.py``.
+:class:`SplitBrainCoordinator`, including the ISSUE-7 multi-split regime:
+decider sets that span an already-healed overlapping split, and the
+order-independence of cascaded heals over three overlapping splits.
+Cluster-level wiring (per-side recording during a real split, merge
+enforcement at heal, and the invariant monitor's replay of the recorded
+directories) is exercised through the ``broadcast/split_brain_directory``
+scenario in ``test_faults.py``.
 """
+
+import itertools
 
 import pytest
 
@@ -157,3 +162,113 @@ class TestSplitBrainCoordinator:
         ]
         assert merge_directories(rebuilt) == live
         assert live.revoked == frozenset({"m"})
+
+
+class TestEvictionDecidersSpanningSides:
+    """Regression for the stale-decider bug (ISSUE 7 satellite).
+
+    ``record_eviction`` used to bind the whole decider set to the side of
+    the *first* sorted decider with a known side — a majority assembled
+    from reports straddling an already-healed overlapping split was then
+    mis-read as cross-side and deferred forever, even when most deciders
+    shared the target's side and could genuinely observe it.
+    """
+
+    def test_stale_offside_decider_cannot_veto_an_onside_majority(self):
+        sim = Simulator(seed=1)
+        coordinator = SplitBrainCoordinator(
+            sim, sides=[("a0", "a1", "a2"), ("b0", "b1", "b2")]
+        )
+        # "a0" sorts first, so the old code bound the majority to side 0
+        # and deferred; b1/b2 share the target's side and must win.
+        assert coordinator.record_eviction(["a0", "b1", "b2"], "b0") is True
+        assert "b0" in coordinator.sides[1].evicted
+        assert sim.metrics.counter("directory.evictions_deferred") == 0
+
+    def test_true_cross_side_eviction_records_on_every_deciding_side(self):
+        sim = Simulator(seed=1)
+        coordinator = SplitBrainCoordinator(
+            sim, sides=[("a0", "a1"), ("b0", "b1"), ("c0", "c1")]
+        )
+        assert coordinator.record_eviction(["a0", "b0"], "c0") is False
+        # Both deciding sides carry the conviction into the merge; the
+        # target's own side never convicted it.
+        assert "c0" in coordinator.sides[0].evicted
+        assert "c0" in coordinator.sides[1].evicted
+        assert "c0" not in coordinator.sides[2].evicted
+        assert sim.metrics.counter("directory.evictions_deferred") == 1
+
+
+class TestOverlappingHealOrderIndependence:
+    """Property test (ISSUE 7): merge decisions of 3 overlapping splits are
+    byte-identical under every heal permutation.
+
+    Mirrors the cluster contract exactly: membership events fan out to every
+    active coordinator, and when one split heals, its enforced evictions
+    reach the *remaining* coordinators only as leaves — which never feed a
+    merge decision.
+    """
+
+    # Eight nodes cut three different ways: by half, by quarter-pairing,
+    # and by parity — every pair of splits overlaps.
+    SPLITS = {
+        0: [("n0", "n1", "n2", "n3"), ("n4", "n5", "n6", "n7")],
+        1: [("n0", "n1", "n4", "n5"), ("n2", "n3", "n6", "n7")],
+        2: [("n0", "n2", "n4", "n6"), ("n1", "n3", "n5", "n7")],
+    }
+
+    def run_heals(self, order):
+        sim = Simulator(seed=1)
+        active = {
+            split_id: SplitBrainCoordinator(sim, sides)
+            for split_id, sides in self.SPLITS.items()
+        }
+        # A join lands on whichever side hosts its group, per split.
+        for split_id, host_side in ((0, 1), (1, 0), (2, None)):
+            active[split_id].record_join("j", host_side)
+        # Every eviction majority is offered to every active coordinator
+        # (no short-circuit), exactly as the cluster does.
+        for deciders, target in (
+            (["n4", "n5", "n6"], "n7"),  # same-side everywhere: executes
+            (["n4", "n5", "n6"], "n0"),  # split 0 defers; 1 and 2 execute
+            (["n0", "n1"], "j"),  # cross-side on split 0: join revoked
+        ):
+            for coordinator in active.values():
+                coordinator.record_eviction(deciders, target)
+        decisions = {}
+        for split_id in order:
+            coordinator = active.pop(split_id)
+            decision = coordinator.merge()
+            decisions[split_id] = decision
+            for address in sorted(decision.evicted):
+                for other in active.values():
+                    other.record_leave(address)
+        return decisions
+
+    def test_decisions_identical_under_every_heal_permutation(self):
+        baseline = self.run_heals((0, 1, 2))
+        baseline_bytes = {
+            split_id: repr(
+                (
+                    tuple(sorted(decision.evicted)),
+                    tuple(sorted(decision.admitted)),
+                    tuple(sorted(decision.revoked)),
+                )
+            ).encode()
+            for split_id, decision in baseline.items()
+        }
+        # The scenario is not vacuous: it exercises deferral and revocation.
+        assert "j" in baseline[0].revoked
+        assert "n0" in baseline[0].evicted
+        for order in itertools.permutations(self.SPLITS):
+            decisions = self.run_heals(order)
+            assert decisions == baseline
+            for split_id, decision in decisions.items():
+                encoded = repr(
+                    (
+                        tuple(sorted(decision.evicted)),
+                        tuple(sorted(decision.admitted)),
+                        tuple(sorted(decision.revoked)),
+                    )
+                ).encode()
+                assert encoded == baseline_bytes[split_id]

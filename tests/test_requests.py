@@ -142,6 +142,95 @@ class TestScoreboard:
         assert not board.quarantined("never-seen")
 
 
+class TestAdaptiveQuarantine:
+    """Fault-rate-fed quarantine thresholds (ISSUE 7 tentpole 4)."""
+
+    @staticmethod
+    def adaptive_policy(**overrides):
+        defaults = dict(
+            adaptive_quarantine=True,
+            quarantine_threshold=4.0,
+            min_quarantine_threshold=2.0,
+            fault_window=10.0,
+            quiet_fault_rate=0.05,
+            adaptive_gain=2.0,
+            decay_half_life=5.0,
+        )
+        defaults.update(overrides)
+        return RequestPolicy(**defaults)
+
+    @staticmethod
+    def storm(sim, board, events, period=1.0, kind="garbage"):
+        def tick(remaining):
+            board.note(f"p{remaining % 3}", kind)
+            if remaining:
+                sim.schedule(period, lambda: tick(remaining - 1))
+
+        tick(events)
+        sim.run()
+
+    def test_static_policy_keeps_constant_threshold_and_no_histogram(self):
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, RequestPolicy())
+        self.storm(sim, board, events=15)
+        assert board.effective_threshold(sim.now) == 4.0
+        assert sim.metrics.histogram("req.quarantine_threshold").samples == []
+
+    def test_hostile_window_tightens_threshold(self):
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, self.adaptive_policy())
+        # ~1 evidence event per sim second across a 10s window: rate >> quiet.
+        self.storm(sim, board, events=15)
+        threshold = board.effective_threshold(sim.now)
+        assert threshold < 4.0
+        assert threshold >= 2.0
+        # The window roll observed the adapted threshold.
+        samples = sim.metrics.histogram("req.quarantine_threshold").samples
+        assert samples and min(samples) == threshold
+
+    def test_quiet_window_relaxes_back_to_base(self):
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, self.adaptive_policy())
+        self.storm(sim, board, events=15)
+        assert board.effective_threshold(sim.now) < 4.0
+        # Roll once to flush the storm's tail events, then a fully quiet
+        # window measures rate 0 and relaxes the threshold to its base.
+        sim.schedule(30.0, lambda: board.effective_threshold(sim.now))
+        sim.run()
+        sim.schedule(15.0, lambda: None)
+        sim.run()
+        assert board.effective_threshold(sim.now) == 4.0
+
+    def test_tightened_threshold_never_drops_below_floor(self):
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, self.adaptive_policy(adaptive_gain=100.0))
+        self.storm(sim, board, events=40, period=0.25)
+        assert board.effective_threshold(sim.now) == 2.0
+
+    def test_decay_release_survives_the_tightest_threshold(self):
+        # PR-6 invariant preserved under adaptation: the floor is strictly
+        # positive, so decay alone still releases every quarantined peer.
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, self.adaptive_policy(adaptive_gain=100.0))
+        self.storm(sim, board, events=40, period=0.25)
+        assert board.effective_threshold(sim.now) == 2.0
+        board.note("q", "garbage")  # 3.0 >= tightened 2.0
+        assert board.quarantined("q")
+        released_before = sim.metrics.counter("req.quarantine_released")
+        sim.schedule(40.0, lambda: None)
+        sim.run()
+        assert not board.quarantined("q")
+        assert sim.metrics.counter("req.quarantine_released") == released_before + 1
+
+    def test_timeouts_alone_never_quarantine_forever_with_adaptation(self):
+        sim = Simulator(seed=1)
+        board = Scoreboard(sim, self.adaptive_policy())
+        self.storm(sim, board, events=10, period=10.0, kind="timeout")
+        # 10s between timeouts = 2 half-lives; even if windows tighten the
+        # threshold to its floor (2.0), suspicion tops out below it.
+        assert sim.metrics.counter("req.quarantined") == 0
+
+
 # ------------------------------------------------------- request lifecycle
 
 
