@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from scipy import stats
 
+from repro.sim.rng import named_stream
 from repro.smr.base import async_fault_threshold, sync_fault_threshold
 
 
@@ -77,7 +78,7 @@ def monte_carlo_vgroup_failure(
     rng: Optional[random.Random] = None,
 ) -> float:
     """Monte-Carlo estimate of :func:`vgroup_failure_probability` (cross-check)."""
-    rng = rng or random.Random(0)
+    rng = rng or named_stream("analysis.robustness.monte_carlo")
     threshold = fault_threshold(group_size, synchronous)
     failures = 0
     for _ in range(trials):

@@ -245,7 +245,7 @@ def digest_object(obj: Any) -> Digest:
     ``cm:`` — equal objects still map to equal digests, distinct objects to
     distinct digests, but no cryptographic hash is computed.
     """
-    key = id(obj)
+    key = id(obj)  # atumlint: allow[ATL008] identity-LRU memo key, guarded by `is obj`; never ordered or serialized
     entry = _memo.get(key)
     if entry is not None and entry[0] is obj:
         # Refresh recency so hot shared payloads are not evicted first.
@@ -262,7 +262,7 @@ def digest_object(obj: Any) -> Digest:
         if len(_memo) >= _MEMO_LIMIT:
             # Evict the oldest entry (dicts preserve insertion order).
             _memo.pop(next(iter(_memo)))
-        _memo[id(obj)] = (obj, result)
+        _memo[id(obj)] = (obj, result)  # atumlint: allow[ATL008] identity-LRU memo key; cache only, never protocol state
     return result
 
 

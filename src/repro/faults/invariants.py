@@ -68,6 +68,12 @@ class InvariantConfig:
         flag_correct_evictions: Record a violation when a correct,
             non-exempt, non-partitioned node is evicted.
         max_violations: Stop recording beyond this many violations.
+        tolerate_check_errors: Keep running when a checker itself errors
+            (``engine.validate()`` raising at :meth:`finalize`).  Fault-
+            scenario replay sets this so a broken engine surfaces as a
+            ``structure`` violation in the matrix row; everywhere else the
+            error is counted (``invariants.check_errors``) and re-raised —
+            a crashed checker outside replay is a bug, not an observation.
     """
 
     size_slack: Optional[int] = None
@@ -75,6 +81,7 @@ class InvariantConfig:
     check_final_bounds: bool = True
     flag_correct_evictions: bool = True
     max_violations: int = 200
+    tolerate_check_errors: bool = False
 
 
 class InvariantMonitor:
@@ -320,7 +327,14 @@ class InvariantMonitor:
         try:
             engine.validate()
         except Exception as exc:
+            # Counted, never silently swallowed (atumlint ATL004): the
+            # error is always visible in the metrics and the violation
+            # list, and propagates unless fault replay opted into
+            # tolerating it.
             self._violation("structure", "engine", str(exc))
+            self._cluster.sim.metrics.increment("invariants.check_errors")
+            if not self.config.tolerate_check_errors:
+                raise
         for address in sorted(self._evicted):
             if address in engine.node_group:
                 self._violation(

@@ -37,7 +37,7 @@ from repro.analysis.robustness import catchup_latency_bound, scenario_robustness
 from repro.core.cluster import AtumCluster
 from repro.core.config import AtumParameters, SmrKind
 from repro.faults.behaviours import apply_plan
-from repro.faults.invariants import InvariantMonitor
+from repro.faults.invariants import InvariantConfig, InvariantMonitor
 from repro.faults.plan import (
     FaultPlan,
     GroupSlowdown,
@@ -48,7 +48,7 @@ from repro.faults.plan import (
 from repro.group.antientropy import AntiEntropyConfig
 from repro.net.requests import RequestPolicy
 from repro.overlay.membership import MembershipError
-from repro.sim.rng import derive_seed
+from repro.sim.rng import derive_seed, named_stream
 from repro.sim.runpar import merge_shards, run_sharded
 from repro.workloads.broadcasts import BroadcastWorkload, BroadcastWorkloadConfig
 from repro.workloads.byzantine import select_byzantine_per_group
@@ -1282,12 +1282,15 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
         antientropy=AntiEntropyConfig() if scenario.antientropy else None,
         shuffle_enabled=scenario.shuffle,
     )
-    monitor = InvariantMonitor()
+    # Replay tolerates checker errors: a broken engine must surface as a
+    # "structure" violation in this scenario's matrix row (and fail the
+    # matrix), not abort the whole shard.
+    monitor = InvariantMonitor(InvariantConfig(tolerate_check_errors=True))
     cluster.attach_monitor(monitor)
     addresses = [f"n{i}" for i in range(scenario.nodes)]
     cluster.build_static(addresses)
 
-    rng = random.Random(derive_seed(seed, f"faults.select:{scenario.name}"))
+    rng = named_stream(f"faults.select:{scenario.name}", master_seed=seed)
     plan = PLAN_BUILDERS[scenario.plan](scenario, cluster, rng)
     apply_plan(cluster, plan, monitor=monitor)
 

@@ -1,0 +1,142 @@
+"""The ratcheted atumlint baseline (``.atumlint-baseline.json``).
+
+Pre-existing accepted debt lives in one explicit, reviewed file instead of
+scattered waivers.  Each entry pins a finding by ``(rule, path, snippet)``
+— the *content* of the flagged line, so unrelated edits do not churn it —
+and must carry a reason.  The ratchet works both ways:
+
+* a finding **not** in the baseline fails ``--check`` (no new debt), and
+* a baseline entry matching **no** current finding also fails ``--check``
+  (fixed debt must be deleted from the baseline, it can never be
+  silently re-spent).
+
+``python -m repro.lint --write-baseline`` regenerates the file from the
+current findings, preserving reasons of entries that survive.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_FILENAME = ".atumlint-baseline.json"
+_UNREVIEWED = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    snippet: str
+    reason: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    if not path.exists():
+        return []
+    data = json.loads(path.read_text(encoding="utf-8"))
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(
+            BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                snippet=raw["snippet"],
+                reason=raw.get("reason", _UNREVIEWED),
+            )
+        )
+    return entries
+
+
+def save_baseline(path: Path, entries: Sequence[BaselineEntry]) -> None:
+    payload = {
+        "comment": (
+            "Accepted atumlint debt, ratcheted: --check fails on findings "
+            "missing here AND on entries matching no finding.  Every entry "
+            "needs a reason; shrink this file, never grow it casually."
+        ),
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "snippet": entry.snippet,
+                "reason": entry.reason,
+            }
+            for entry in sorted(entries, key=lambda e: e.key())
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+@dataclass
+class BaselineDiff:
+    """Findings vs baseline: what fails the ratchet and why."""
+
+    unbaselined: List[Finding]
+    stale: List[BaselineEntry]
+    suppressed: List[Finding]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unbaselined and not self.stale
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> BaselineDiff:
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        entry.key(): entry for entry in entries
+    }
+    matched_keys = set()
+    unbaselined: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        entry = by_key.get(finding.key())
+        if entry is None:
+            unbaselined.append(finding)
+        else:
+            matched_keys.add(entry.key())
+            suppressed.append(finding)
+    stale = [entry for entry in entries if entry.key() not in matched_keys]
+    return BaselineDiff(unbaselined=unbaselined, stale=stale, suppressed=suppressed)
+
+
+def entries_from_findings(
+    findings: Sequence[Finding], previous: Sequence[BaselineEntry]
+) -> List[BaselineEntry]:
+    """Baseline entries for ``findings``, keeping reasons that survive."""
+    reasons = {entry.key(): entry.reason for entry in previous}
+    seen = set()
+    entries: List[BaselineEntry] = []
+    for finding in findings:
+        key = finding.key()
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                reason=reasons.get(key, _UNREVIEWED),
+            )
+        )
+    return entries
+
+
+__all__ = [
+    "BASELINE_FILENAME",
+    "BaselineEntry",
+    "BaselineDiff",
+    "load_baseline",
+    "save_baseline",
+    "diff_against_baseline",
+    "entries_from_findings",
+]

@@ -19,6 +19,7 @@ from scipy import stats
 
 from repro.overlay.hgraph import HGraph
 from repro.overlay.random_walk import structural_walk
+from repro.sim.rng import named_stream
 
 #: Number of walk samples per chi-square test (per start vertex batch).
 DEFAULT_SAMPLES_PER_GROUP = 30
@@ -90,7 +91,7 @@ def optimal_walk_length(
 
     This is the quantity plotted on the y-axis of Figure 4.
     """
-    rng = rng or random.Random(0)
+    rng = rng or named_stream("overlay.guideline.optimal_walk_length")
     for rwl in range(1, max_rwl + 1):
         if is_uniform(num_groups, hc, rwl, rng, alpha, samples_per_group, trials):
             return rwl
@@ -106,7 +107,7 @@ def guideline_table(
     max_rwl: int = 30,
 ) -> Dict[int, Dict[int, int]]:
     """Compute the full Figure 4 guideline: ``{num_groups: {hc: optimal rwl}}``."""
-    rng = rng or random.Random(0)
+    rng = rng or named_stream("overlay.guideline.table")
     table: Dict[int, Dict[int, int]] = {}
     for num_groups in group_counts:
         table[num_groups] = {}

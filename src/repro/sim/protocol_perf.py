@@ -44,7 +44,7 @@ from repro.overlay.gossip import ForwardPolicy, cycles_policy, flood_policy, ran
 from repro.overlay.hgraph import HGraph
 from repro.overlay.membership import MembershipConfig, MembershipEngine, MembershipError
 from repro.sim.actor import Actor
-from repro.sim.rng import derive_seed
+from repro.sim.rng import derive_seed, named_stream
 from repro.sim.simulator import Simulator
 
 #: Pre-PR protocol-layer throughput, measured at commit 9967c2e (PR-1 protocol
@@ -187,9 +187,7 @@ class GossipStackNode(Actor):
             # the same stream from (bcast_id, group_id), so they all pick the
             # same forward set and their shares aggregate into one accepted
             # group message per (bcast, source, target).
-            import random as _random
-
-            rng = _random.Random(derive_seed(0, f"{record.bcast_id}:{own_group}"))
+            rng = named_stream(f"{record.bcast_id}:{own_group}")
         targets = self.policy(self.graph, own_group, record.bcast_id, rng)
         for target_group in targets:
             if target_group == own_group or target_group == exclude_group:
@@ -313,9 +311,9 @@ def run_broadcast_scenario(
 
         sim.schedule(when, fire, tag="stack.broadcast")
 
-    start = time.perf_counter()
+    start = time.perf_counter()  # atumlint: allow[ATL002] benchmark wall-clock: measures real msgs/s, never sim time
     sim.run(until=horizon, trace=trace)
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # atumlint: allow[ATL002] benchmark wall-clock: measures real msgs/s, never sim time
 
     metrics = sim.metrics
     total_nodes = len(nodes)
@@ -398,9 +396,9 @@ def run_churn_scenario(
                 return
 
     sim.schedule(op_interval, churn_tick, tag="churn.tick")
-    start = time.perf_counter()
+    start = time.perf_counter()  # atumlint: allow[ATL002] benchmark wall-clock: measures real msgs/s, never sim time
     sim.run_until_idle()
-    elapsed = time.perf_counter() - start
+    elapsed = time.perf_counter() - start  # atumlint: allow[ATL002] benchmark wall-clock: measures real msgs/s, never sim time
     metrics = sim.metrics
     completed = (
         metrics.counter("membership.joins_completed")

@@ -20,6 +20,19 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def named_stream(name: str, master_seed: int = 0) -> random.Random:
+    """A standalone named stream: ``random.Random(derive_seed(master_seed, name))``.
+
+    The one-off counterpart of :meth:`RngRegistry.stream` for components
+    that need a single deterministic stream without carrying a registry —
+    default-RNG fallbacks, per-broadcast group-consistent draws, scenario
+    fault selection.  atumlint rule ATL001 forbids constructing
+    ``random.Random`` anywhere else, so every draw in the system is
+    attributable to a ``(master_seed, name)`` pair.
+    """
+    return random.Random(derive_seed(master_seed, name))
+
+
 class RngRegistry:
     """A registry of named :class:`random.Random` streams.
 
@@ -46,4 +59,4 @@ class RngRegistry:
         return RngRegistry(derive_seed(self.master_seed, name))
 
 
-__all__ = ["RngRegistry", "derive_seed"]
+__all__ = ["RngRegistry", "derive_seed", "named_stream"]

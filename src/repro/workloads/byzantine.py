@@ -22,6 +22,8 @@ import math
 import random
 from typing import Iterable, List, Optional, Sequence
 
+from repro.sim.rng import named_stream
+
 
 def _reject_majority(count: int, population: int, allow_majority: bool, scope: str) -> None:
     if allow_majority or count == 0:
@@ -63,7 +65,7 @@ def select_byzantine(
     if count > len(addresses):
         raise ValueError("cannot select more Byzantine nodes than addresses")
     _reject_majority(count, len(addresses), allow_majority, "addresses")
-    rng = rng or random.Random(0)
+    rng = rng or named_stream("workloads.byzantine.select")
     return sorted(rng.sample(list(addresses), count))
 
 
@@ -88,7 +90,7 @@ def select_byzantine_per_group(
     """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
-    rng = rng or random.Random(0)
+    rng = rng or named_stream("workloads.byzantine.select_per_group")
     chosen: List[str] = []
     for view in sorted(views, key=lambda v: v.group_id):
         size = len(view.members)

@@ -1,0 +1,8 @@
+"""ATL000 fixture: pragma hygiene violations (reason-less / unknown rule)."""
+
+import random
+
+
+def draw():
+    value = random.random()  # atumlint: allow[ATL001]
+    return value  # atumlint: allow[ATL999] names a rule that does not exist

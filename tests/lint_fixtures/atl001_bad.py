@@ -1,0 +1,9 @@
+"""ATL001 fixture: direct random use that must be flagged."""
+
+import random
+from random import Random
+
+
+def draw():
+    rng = Random(42)
+    return rng.random() + random.random()

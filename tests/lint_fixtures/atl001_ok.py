@@ -1,0 +1,10 @@
+"""ATL001 fixture: the same direct random use, suppressed with reasons."""
+
+import random
+
+
+def draw():
+    # atumlint: allow[ATL001] fixture: exploratory path, byte-reproducibility not required
+    rng = random.Random(42)
+    seeded = random.Random(7)  # atumlint: allow[ATL001] fixture: inline pragma form
+    return rng.random() + seeded.random()

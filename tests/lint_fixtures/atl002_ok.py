@@ -1,0 +1,10 @@
+"""ATL002 fixture: wall-clock reads suppressed with reasons."""
+
+import time
+
+
+def stamp():
+    started = time.time()  # atumlint: allow[ATL002] fixture: measures real elapsed seconds by design
+    # atumlint: allow[ATL002] fixture: host-speed probe, never feeds sim time
+    tick = time.perf_counter()
+    return started, tick

@@ -1,0 +1,17 @@
+"""ATL003 fixture: unordered set iteration feeding protocol sinks."""
+
+
+def flood(peers, transport):
+    alive = {peer for peer in peers if peer}
+    for peer in alive:
+        transport.send(peer)
+
+
+def pick(peers, rng):
+    candidates = set(peers)
+    return rng.sample(candidates, 2)
+
+
+def drain(tasks):
+    pending = set(tasks)
+    return pending.pop()

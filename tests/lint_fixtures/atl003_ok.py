@@ -1,0 +1,18 @@
+"""ATL003 fixture: the same set flows, made deterministic or suppressed."""
+
+
+def flood(peers, transport):
+    alive = {peer for peer in peers if peer}
+    for peer in sorted(alive):
+        transport.send(peer)
+
+
+def pick(peers, rng):
+    candidates = set(peers)
+    return rng.sample(sorted(candidates), 2)
+
+
+def drain(tasks):
+    pending = set(tasks)
+    # atumlint: allow[ATL003] fixture: drain is order-insensitive, results are re-sorted by the caller
+    return pending.pop()

@@ -1,0 +1,29 @@
+"""ATL004 fixture: blanket excepts that count, re-raise, or are waived."""
+
+
+def counted(action, metrics):
+    try:
+        action()
+    except Exception:
+        metrics.increment("invariants.check_errors")
+
+
+def reraised(action):
+    try:
+        action()
+    except Exception:
+        raise
+
+
+def subscripted(action, counters):
+    try:
+        action()
+    except Exception:
+        counters["invariants.check_errors"] += 1
+
+
+def waived(action):
+    try:
+        action()
+    except Exception:  # atumlint: allow[ATL004] fixture: best-effort cleanup, failure is irrelevant here
+        pass

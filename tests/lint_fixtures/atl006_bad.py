@@ -1,0 +1,7 @@
+"""ATL006 fixture: metric name literals that are not in the registry."""
+
+
+def report(metrics):
+    metrics.increment("invariants.check_error")  # typo: registered name has a trailing s
+    metrics.counters["no.such.metric"] += 1
+    metrics.observe("also.not.registered", 1.0)

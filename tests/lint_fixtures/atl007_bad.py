@@ -1,0 +1,17 @@
+"""ATL007 fixture: payloads mutated after being handed to send*."""
+
+
+def broadcast(transport, payload, trailer):
+    transport.send(payload)
+    payload.append(trailer)
+
+
+def annotate(transport, message):
+    transport.send_direct(message)
+    message["hops"] = 1
+
+
+def branch_send(transport, payload, fast):
+    if fast:
+        transport.send(payload)
+        payload.clear()

@@ -1,0 +1,9 @@
+"""ATL008 fixture: hash()/id() values reaching ordering decisions."""
+
+
+def order_key(message):
+    return hash(message.sender)
+
+
+def tiebreak(left, right):
+    return left if id(left) < id(right) else right

@@ -1,0 +1,11 @@
+"""ATL008 fixture: stable digests for ordering, identity only with a waiver."""
+
+from repro.crypto.digest import digest_object
+
+
+def order_key(message):
+    return digest_object(message.sender)
+
+
+def memo_key(obj):
+    return id(obj)  # atumlint: allow[ATL008] fixture: identity-cache key, never ordered or serialized

@@ -1,0 +1,23 @@
+"""Shared helpers for the atumlint test suite (tests/test_lint_*.py).
+
+Each per-rule test lints one fixture from ``tests/lint_fixtures/`` through
+the real analyzer entry point (:func:`repro.lint.run_lint`) with the repo
+root as the path base, exactly as the CLI does.
+"""
+
+from pathlib import Path
+
+from repro.lint import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def lint_fixture(name, rules=None):
+    """Findings for one fixture file (all rules unless ``rules`` is given)."""
+    return run_lint([FIXTURES / name], root=REPO_ROOT, rule_ids=rules)
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]

@@ -1,0 +1,24 @@
+"""ATL001: direct random.* use outside sim/rng.py."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_module_call_and_from_imported_random():
+    findings = lint_fixture("atl001_bad.py", rules=["ATL001"])
+    assert rules_of(findings) == ["ATL001", "ATL001"]
+    assert any("random.Random" in f.message for f in findings)
+    assert any("random.random" in f.message for f in findings)
+    assert all("named stream" in f.message for f in findings)
+
+
+def test_rng_home_is_exempt():
+    from lint_utils import SRC
+    from repro.lint import run_lint
+    from lint_utils import REPO_ROOT
+
+    findings = run_lint([SRC / "sim" / "rng.py"], root=REPO_ROOT, rule_ids=["ATL001"])
+    assert findings == []
+
+
+def test_reasoned_pragmas_suppress_everything():
+    assert lint_fixture("atl001_ok.py") == []

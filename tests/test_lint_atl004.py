@@ -1,0 +1,15 @@
+"""ATL004: blanket excepts that neither re-raise nor count."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_swallowing_except_exception_and_bare_except():
+    findings = lint_fixture("atl004_bad.py", rules=["ATL004"])
+    assert rules_of(findings) == ["ATL004", "ATL004"]
+    messages = [f.message for f in findings]
+    assert any("except Exception" in m for m in messages)
+    assert any("bare except" in m for m in messages)
+
+
+def test_counting_reraising_and_waived_handlers_pass():
+    assert lint_fixture("atl004_ok.py") == []

@@ -1,0 +1,17 @@
+"""ATL005: attribute writes undeclared in (inherited) __slots__."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_undeclared_write_and_resolves_inherited_slots():
+    findings = lint_fixture("atl005_bad.py", rules=["ATL005"])
+    assert rules_of(findings) == ["ATL005"]
+    message = findings[0].message
+    assert "Leaf.gamma" in message
+    # Inherited slot resolution: alpha comes from Base, beta from Leaf, and
+    # writing either is NOT flagged — only gamma is.
+    assert "alpha" in message and "beta" in message
+
+
+def test_dict_slot_opens_layout_and_pragma_waives():
+    assert lint_fixture("atl005_ok.py") == []

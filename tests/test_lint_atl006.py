@@ -1,0 +1,16 @@
+"""ATL006: metric name literals validated against the generated registry."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_typo_unknown_subscript_and_unknown_histogram():
+    findings = lint_fixture("atl006_bad.py", rules=["ATL006"])
+    assert rules_of(findings) == ["ATL006", "ATL006", "ATL006"]
+    messages = "\n".join(f.message for f in findings)
+    assert "'invariants.check_error'" in messages  # the typo'd counter
+    assert "'no.such.metric'" in messages  # container-subscript idiom
+    assert "'also.not.registered'" in messages  # histogram observe
+
+
+def test_registered_names_and_reasoned_pragma_pass():
+    assert lint_fixture("atl006_ok.py") == []

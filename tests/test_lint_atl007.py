@@ -1,0 +1,16 @@
+"""ATL007: payload mutation after being handed to send*."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_method_mutation_item_write_and_branch_dominated_send():
+    findings = lint_fixture("atl007_bad.py", rules=["ATL007"])
+    assert rules_of(findings) == ["ATL007", "ATL007", "ATL007"]
+    messages = "\n".join(f.message for f in findings)
+    assert "'payload'.append" in messages
+    assert "'message' mutated" in messages  # subscript write after send_direct
+    assert "'payload'.clear" in messages  # send dominating inside one branch
+
+
+def test_copies_rebinds_branch_locality_and_pragma_pass():
+    assert lint_fixture("atl007_ok.py") == []

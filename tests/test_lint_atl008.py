@@ -1,0 +1,16 @@
+"""ATL008: hash()/id() values on protocol/ordering paths."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_every_hash_and_id_call():
+    findings = lint_fixture("atl008_bad.py", rules=["ATL008"])
+    assert rules_of(findings) == ["ATL008", "ATL008", "ATL008"]
+    messages = "\n".join(f.message for f in findings)
+    assert "hash()" in messages
+    assert "id()" in messages
+    assert "repro.crypto.digest" in messages  # points at the stable alternative
+
+
+def test_digest_ordering_and_waived_identity_cache_pass():
+    assert lint_fixture("atl008_ok.py") == []

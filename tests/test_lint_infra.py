@@ -1,0 +1,173 @@
+"""atumlint infrastructure: pragma hygiene, baseline ratchet, plug-in rules, CLI."""
+
+import json
+
+import pytest
+
+from lint_utils import FIXTURES, REPO_ROOT, lint_fixture, rules_of
+from repro.lint import run_lint, register_rule, registered_rules
+from repro.lint.core import Rule, _RULE_REGISTRY
+from repro.lint.baseline import (
+    BaselineEntry,
+    diff_against_baseline,
+    entries_from_findings,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.__main__ import find_root, main
+
+
+# --------------------------------------------------------------- pragma hygiene
+
+
+class TestPragmaHygiene:
+    def test_reasonless_pragma_is_atl000_and_does_not_suppress(self):
+        findings = lint_fixture("atl000_bad.py")
+        rules = rules_of(findings)
+        # The reason-less allow[ATL001] pragma does NOT suppress the ATL001
+        # finding on its line, and itself surfaces as ATL000.
+        assert rules.count("ATL001") == 1
+        assert rules.count("ATL000") == 2
+
+    def test_unknown_rule_in_pragma_is_reported(self):
+        findings = [f for f in lint_fixture("atl000_bad.py") if f.rule == "ATL000"]
+        assert any("unknown rule ATL999" in f.message for f in findings)
+        assert any("without a reason" in f.message for f in findings)
+
+    def test_unknown_rule_id_selection_raises(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            run_lint([FIXTURES / "atl001_bad.py"], root=REPO_ROOT, rule_ids=["NOPE"])
+
+
+# -------------------------------------------------------------- baseline ratchet
+
+
+class TestBaselineRatchet:
+    def findings(self):
+        return lint_fixture("atl001_bad.py", rules=["ATL001"])
+
+    def test_full_baseline_is_clean(self):
+        findings = self.findings()
+        entries = entries_from_findings(findings, [])
+        diff = diff_against_baseline(findings, entries)
+        assert diff.clean
+        assert len(diff.suppressed) == len(findings)
+
+    def test_new_finding_fails_the_ratchet(self):
+        findings = self.findings()
+        entries = entries_from_findings(findings[:-1], [])
+        diff = diff_against_baseline(findings, entries)
+        assert not diff.clean
+        assert [f.key() for f in diff.unbaselined] == [findings[-1].key()]
+
+    def test_stale_entry_fails_the_ratchet_too(self):
+        findings = self.findings()
+        ghost = BaselineEntry(
+            rule="ATL001", path="src/repro/gone.py", snippet="x = 1", reason="fixed"
+        )
+        diff = diff_against_baseline(findings, entries_from_findings(findings, []) + [ghost])
+        assert not diff.clean
+        assert diff.stale == [ghost]
+
+    def test_reasons_survive_regeneration(self):
+        findings = self.findings()
+        first = entries_from_findings(findings, [])
+        reasoned = [
+            BaselineEntry(e.rule, e.path, e.snippet, "reviewed: fixture") for e in first
+        ]
+        regenerated = entries_from_findings(findings, reasoned)
+        assert all(e.reason == "reviewed: fixture" for e in regenerated)
+
+    def test_save_load_round_trip(self, tmp_path):
+        findings = self.findings()
+        entries = entries_from_findings(findings, [])
+        path = tmp_path / ".atumlint-baseline.json"
+        save_baseline(path, entries)
+        assert load_baseline(path) == sorted(entries, key=lambda e: e.key())
+        payload = json.loads(path.read_text())
+        assert "ratcheted" in payload["comment"]
+
+
+# --------------------------------------------------------------- plug-in rules
+
+
+class TestPluginRegistration:
+    def test_new_rule_is_one_registered_class(self):
+        @register_rule
+        class FixtureRule(Rule):
+            rule_id = "ATL900"
+            title = "fixture plug-in rule"
+
+            def check(self, module, project):
+                yield self.finding(module, 1, "plug-in fired")
+
+        try:
+            assert "ATL900" in registered_rules()
+            findings = run_lint(
+                [FIXTURES / "atl004_bad.py"], root=REPO_ROOT, rule_ids=["ATL900"]
+            )
+            assert [f.message for f in findings] == ["plug-in fired"]
+        finally:
+            _RULE_REGISTRY.pop("ATL900", None)
+
+    def test_duplicate_rule_id_rejected(self):
+        registered_rules()  # ensure the built-in rules are registered
+        with pytest.raises(ValueError, match="duplicate rule id"):
+
+            @register_rule
+            class Clash(Rule):
+                rule_id = "ATL001"
+
+    def test_reserved_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="non-reserved"):
+
+            @register_rule
+            class Reserved(Rule):
+                rule_id = "ATL000"
+
+
+# ------------------------------------------------------------------------- CLI
+
+
+class TestCli:
+    def test_find_root_walks_up(self):
+        assert find_root(FIXTURES) == REPO_ROOT
+
+    def test_list_rules_exits_zero(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("ATL001", "ATL008"):
+            assert rule_id in out
+
+    def test_violating_fixture_fails(self, capsys):
+        code = main([str(FIXTURES / "atl001_bad.py"), "--root", str(REPO_ROOT)])
+        assert code == 1
+        assert "ATL001" in capsys.readouterr().out
+
+    def test_clean_fixture_passes_and_writes_json(self, tmp_path, capsys):
+        report_path = tmp_path / "findings.json"
+        code = main(
+            [
+                str(FIXTURES / "atl008_ok.py"),
+                "--root",
+                str(REPO_ROOT),
+                "--json",
+                str(report_path),
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["findings"] == []
+
+    def test_write_baseline_then_lint_passes(self, tmp_path, capsys):
+        # An isolated root: baseline debt makes a violating file pass the
+        # default mode without touching the repo's own (empty) baseline.
+        target = FIXTURES / "atl007_bad.py"
+        assert main([str(target), "--root", str(tmp_path)]) == 1
+        capsys.readouterr()
+        assert main([str(target), "--root", str(tmp_path), "--write-baseline"]) == 0
+        entries = load_baseline(tmp_path / ".atumlint-baseline.json")
+        assert entries and all(e.rule == "ATL007" for e in entries)
+        assert main([str(target), "--root", str(tmp_path), "--quiet"]) == 0
