@@ -171,7 +171,7 @@ class AShareCluster:
         for address, node in atum.nodes.items():
             self.indexes[address] = MetadataIndex()
             self.stored[address] = {}
-            node.deliver_fn = self._make_deliver(address, node.deliver_fn)
+            node.deliver_fn = self._make_deliver(address, node.deliver_fn)  # atumlint: allow[ATL009] application-tier delivery decoration; observability belongs in repro.core.middleware
 
     # ------------------------------------------------------------------ helpers
 

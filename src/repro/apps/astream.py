@@ -177,7 +177,7 @@ class AStreamSession:
                 "astream.pull", lambda payload, sender, a=address: self._on_pull(a, payload, sender)
             )
             previous = node.deliver_fn
-            node.deliver_fn = self._make_tier1_deliver(address, previous)
+            node.deliver_fn = self._make_tier1_deliver(address, previous)  # atumlint: allow[ATL009] application-tier delivery decoration; observability belongs in repro.core.middleware
 
     def _make_tier1_deliver(self, address: str, previous):
         def deliver(message: BroadcastMessage) -> None:

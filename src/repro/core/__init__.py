@@ -12,15 +12,35 @@
   and provides the measurement hooks used by tests, examples and benchmarks.
 """
 
-from repro.core.config import AtumParameters, SmrKind, parameter_table
-from repro.core.node import AtumNode, BroadcastMessage
-from repro.core.cluster import AtumCluster
+# Lazy re-exports (PEP 562).  Leaf modules across the tree import
+# ``repro.core.middleware``; eager submodule imports here would drag the whole
+# node/cluster stack into that package-init and create an import cycle
+# (network -> core.middleware -> core.__init__ -> node -> network).
+_EXPORTS = {
+    "AtumParameters": "repro.core.config",
+    "SmrKind": "repro.core.config",
+    "parameter_table": "repro.core.config",
+    "AtumNode": "repro.core.node",
+    "BroadcastMessage": "repro.core.node",
+    "AtumCluster": "repro.core.cluster",
+    "Middleware": "repro.core.middleware",
+    "MiddlewareChain": "repro.core.middleware",
+    "MiddlewareContext": "repro.core.middleware",
+    "MiddlewareError": "repro.core.middleware",
+    "MetricsTap": "repro.core.middleware",
+}
 
-__all__ = [
-    "AtumParameters",
-    "SmrKind",
-    "parameter_table",
-    "AtumNode",
-    "BroadcastMessage",
-    "AtumCluster",
-]
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

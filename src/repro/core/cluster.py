@@ -20,9 +20,15 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import AtumParameters, SmrKind
+from repro.core.middleware import (
+    MiddlewareChain,
+    MiddlewareContext,
+    MiddlewareError,
+    overrides_hook,
+)
 from repro.core.node import AtumNode, BroadcastMessage
 from repro.crypto.keys import KeyRegistry
-from repro.group.antientropy import AntiEntropyConfig
+from repro.group.antientropy import AntiEntropyConfig, AntiEntropyTap
 from repro.group.vgroup import VGroupView
 from repro.net.latency import LanProfile, LatencyModel, WanProfile
 from repro.net.network import Network, NetworkConfig
@@ -87,9 +93,29 @@ class AtumCluster:
         # is never below this minimum, so the check can reject size lies
         # without ever blocking honest traffic during reconfigurations.
         self._min_group_sizes: Dict[str, int] = {}
-        # Optional runtime invariant monitor (see repro.faults.invariants).
-        # Every hook below is guarded by ``is not None`` so unmonitored runs
-        # pay a single attribute check per membership event.
+        # Middleware pipeline (repro.core.middleware): one chain per cluster,
+        # installed lazily via middleware_chain()/install_middleware().  The
+        # per-hook pipelines below are compiled from the chain; ``None`` means
+        # "no pipeline" and costs one truthiness check per membership event.
+        self._middleware: Optional[MiddlewareChain] = None
+        # Identity-scanned lists, not id()-keyed sets: chains hold a handful
+        # of middleware, and stable-identity bookkeeping must not depend on
+        # address reuse (atumlint ATL008).
+        self._mw_setup_done: List[Any] = []
+        self._mw_timers: List[Any] = []
+        self._view_hooks = None
+        self._eviction_hooks = None
+        self._node_added_hooks = None
+        self._node_left_hooks = None
+        self._deliver_hooks = None
+        # Evicted identities already announced through on_eviction: the
+        # durable exactly-once guard (``_eviction_requests`` is transient —
+        # _on_node_left clears it, which is what let the split-merge race
+        # re-announce an eviction).
+        self._evictions_notified: Set[str] = set()
+        # The attached invariant monitor, if any (see attach_monitor).  Kept
+        # as a plain reference for tests and reporting; all event dispatch
+        # goes through the middleware pipelines above.
         self.monitor = None
         # Split-brain bookkeeping (repro.overlay.directory): one coordinator
         # per *active* split, keyed by the network split id, so overlapping
@@ -101,15 +127,105 @@ class AtumCluster:
         # One record per completed reconciliation, for the invariant
         # monitor's post-run directory-convergence check.
         self._directory_reconciliations: List[Dict[str, Any]] = []
+        if antientropy is not None:
+            # The repair layer taps every broadcast delivery; route it
+            # through the pipeline like any other interceptor.  The tap has
+            # no on_send hook, so network fast paths stay untouched.
+            self.install_middleware(MiddlewareChain(AntiEntropyTap()))
+
+    # ---------------------------------------------------------------- middleware
+
+    def install_middleware(self, chain: MiddlewareChain) -> MiddlewareChain:
+        """Install ``chain`` as this cluster's middleware pipeline.
+
+        One chain per cluster: installing a second one raises
+        :class:`MiddlewareError` — compose scenarios by adding middleware
+        to the existing chain (:meth:`middleware_chain`) instead.  The
+        chain is simultaneously installed on the network (``on_send``) and
+        its compiled ``on_deliver`` pipeline distributed to every node.
+        """
+        if self._middleware is not None:
+            raise MiddlewareError(
+                "a middleware chain is already installed on this cluster; "
+                "add to cluster.middleware_chain() instead of installing a "
+                "second one"
+            )
+        self._middleware = chain
+        self.network.install_middleware(chain)
+        chain.subscribe(self._refresh_middleware)
+        self._refresh_middleware()
+        return chain
+
+    def middleware_chain(self) -> MiddlewareChain:
+        """The cluster's chain, installing an empty one on first use."""
+        if self._middleware is None:
+            self.install_middleware(MiddlewareChain())
+        return self._middleware
+
+    def _refresh_middleware(self) -> None:
+        """(Re)compile the per-hook pipelines after a chain mutation."""
+        chain = self._middleware
+        if chain is None:
+            return
+        for middleware in chain:
+            if not any(done is middleware for done in self._mw_setup_done):
+                self._mw_setup_done.append(middleware)
+                middleware.setup(self)
+            if (
+                middleware.timer_period is not None
+                and not any(armed is middleware for armed in self._mw_timers)
+                and overrides_hook(middleware, "on_timer")
+            ):
+                self._mw_timers.append(middleware)
+                self.sim.schedule(
+                    middleware.timer_period,
+                    lambda mw=middleware: self._middleware_timer_tick(mw),
+                    tag="mw.timer",
+                )
+        self._view_hooks = chain.hooks("on_view_change")
+        self._eviction_hooks = chain.hooks("on_eviction")
+        self._node_added_hooks = chain.hooks("on_node_added")
+        self._node_left_hooks = chain.hooks("on_node_left")
+        self._deliver_hooks = chain.hooks("on_deliver")
+        for node in self.nodes.values():
+            node.set_middleware_hooks(self._deliver_hooks, chain.scenario)
+
+    def _disarm_timer(self, middleware) -> None:
+        self._mw_timers = [armed for armed in self._mw_timers if armed is not middleware]
+
+    def _middleware_timer_tick(self, middleware) -> None:
+        chain = self._middleware
+        if chain is None or middleware not in chain:
+            self._disarm_timer(middleware)
+            return
+        ctx = MiddlewareContext(
+            "on_timer", now=self.sim.now, scenario=chain.scenario
+        )
+        middleware.on_timer(ctx)  # atumlint: allow[ATL009] the sanctioned per-middleware timer dispatch site
+        if ctx.stop:
+            self._disarm_timer(middleware)
+            return
+        self.sim.schedule(
+            middleware.timer_period,
+            lambda: self._middleware_timer_tick(middleware),
+            tag="mw.timer",
+        )
 
     def attach_monitor(self, monitor) -> None:
         """Attach a runtime invariant monitor (``repro.faults.invariants``).
 
-        The monitor is notified of node creation, view changes, departures
-        and evictions, and installs its own observation hooks on each node.
+        The monitor joins the middleware chain, which feeds it node
+        creation, view changes, departures, evictions and both delivery
+        channels.  Attaching a second monitor raises
+        :class:`MiddlewareError` — silently replacing one mid-run would
+        split its observation history.
         """
+        if self.monitor is not None:
+            raise MiddlewareError(
+                "an invariant monitor is already attached to this cluster"
+            )
         self.monitor = monitor
-        monitor.bind(self)
+        self.middleware_chain().add(monitor)
 
     # ------------------------------------------------------------- node creation
 
@@ -142,8 +258,22 @@ class AtumCluster:
         )
         self.nodes[address] = node
         self.network.register(node)
-        if self.monitor is not None:
-            self.monitor.on_node_added(node)
+        chain = self._middleware
+        if chain is not None:
+            node.set_middleware_hooks(self._deliver_hooks, chain.scenario)
+            hooks = self._node_added_hooks
+            if hooks is not None:
+                ctx = MiddlewareContext(
+                    "on_node_added",
+                    now=self.sim.now,
+                    scenario=chain.scenario,
+                    address=address,
+                    node=node,
+                )
+                for hook in hooks:
+                    hook(ctx)
+                    if ctx.stop:
+                        break
         return node
 
     def node(self, address: str) -> AtumNode:
@@ -241,9 +371,16 @@ class AtumCluster:
                     allowed = False
             if not allowed:
                 return
-        if self.monitor is not None:
-            self.monitor.on_eviction(peer)
-        self.engine.leave(peer, eviction=True)
+        self._notify_eviction(peer)
+        try:
+            self.engine.leave(peer, eviction=True)
+        except MembershipError:
+            # The suspect vanished between the majority check and the leave
+            # (a racing voluntary departure or a concurrent eviction path).
+            # Count it — a silent pass here hid real sequencing bugs — and
+            # let the address be re-requested if it somehow reappears.
+            self.sim.metrics.increment("cluster.eviction_leave_failed")
+            self._eviction_requests.discard(peer)
 
     # --------------------------------------------------------------- split brain
 
@@ -299,11 +436,11 @@ class AtumCluster:
             self._eviction_requests.add(address)
             if address not in self.engine.node_group:
                 continue
-            if self.monitor is not None:
-                self.monitor.on_eviction(address)
+            self._notify_eviction(address)
             try:
                 self.engine.leave(address, eviction=True)
             except MembershipError:
+                self.sim.metrics.increment("directory.merge_eviction_failed")
                 continue
             self.sim.metrics.increment("directory.merge_evictions_enforced")
         if decision.revoked:
@@ -468,6 +605,35 @@ class AtumCluster:
 
     # --------------------------------------------------------- engine callbacks
 
+    def _notify_eviction(self, address: str) -> bool:
+        """Dispatch ``on_eviction`` for ``address``, exactly once per identity.
+
+        Every eviction decision path (heartbeat majority, merge
+        enforcement) announces through here.  The durable
+        ``_evictions_notified`` set deduplicates across paths: a node
+        evicted same-side during a split, with its leave still in flight at
+        heal, used to be re-announced by merge enforcement — observers
+        counted the same identity twice.  Duplicates are suppressed (and
+        counted) instead of dispatched.
+        """
+        if address in self._evictions_notified:
+            self.sim.metrics.increment("cluster.eviction_duplicate_suppressed")
+            return False
+        self._evictions_notified.add(address)
+        hooks = self._eviction_hooks
+        if hooks is not None:
+            ctx = MiddlewareContext(
+                "on_eviction",
+                now=self.sim.now,
+                scenario=self._middleware.scenario,
+                address=address,
+            )
+            for hook in hooks:
+                hook(ctx)
+                if ctx.stop:
+                    break
+        return True
+
     def _on_view_changed(self, view: VGroupView) -> None:
         previous_min = self._min_group_sizes.get(view.group_id)
         if previous_min is None or view.size < previous_min:
@@ -476,8 +642,18 @@ class AtumCluster:
             node = self.nodes.get(member)
             if node is not None:
                 node.install_view(view)
-        if self.monitor is not None:
-            self.monitor.on_view_changed(view)
+        hooks = self._view_hooks
+        if hooks is not None:
+            ctx = MiddlewareContext(
+                "on_view_change",
+                now=self.sim.now,
+                scenario=self._middleware.scenario,
+                view=view,
+            )
+            for hook in hooks:
+                hook(ctx)
+                if ctx.stop:
+                    break
 
     def _on_group_removed(self, group_id: str) -> None:
         # Members were re-homed before the group disappeared; nothing to do at
@@ -494,8 +670,18 @@ class AtumCluster:
         # Drop any suspicion state about the departed node, or long churn
         # runs accumulate per-suspect report dicts forever.
         self._suspicions.pop(address, None)
-        if self.monitor is not None:
-            self.monitor.on_node_left(address)
+        hooks = self._node_left_hooks
+        if hooks is not None:
+            ctx = MiddlewareContext(
+                "on_node_left",
+                now=self.sim.now,
+                scenario=self._middleware.scenario,
+                address=address,
+            )
+            for hook in hooks:
+                hook(ctx)
+                if ctx.stop:
+                    break
 
     def _on_join_completed(self, address: str, group_id: str) -> None:
         view = self.engine.groups.get(group_id)

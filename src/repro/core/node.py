@@ -27,6 +27,7 @@ from functools import lru_cache
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import AtumParameters, SmrKind
+from repro.core.middleware import MiddlewareContext
 from repro.crypto.keys import KeyRegistry
 from repro.faults.plan import RESPONDER_BEHAVIOURS
 from repro.group.antientropy import AntiEntropyConfig, AntiEntropyRepair
@@ -141,11 +142,13 @@ class AtumNode(Actor):
         self.registry = registry
         self.directory = directory
         self.deliver_fn = deliver_fn
-        # Observation-only delivery hook (repro.faults.invariants) invoked
-        # before deliver_fn.  Kept separate from deliver_fn because apps
-        # reassign that attribute freely (e.g. ASub) and must not be able to
-        # silently disconnect an attached invariant monitor.
-        self.delivery_observer: Optional[Callable[[BroadcastMessage], None]] = None
+        # Compiled on_deliver pipeline of the cluster's middleware chain
+        # (repro.core.middleware), invoked before deliver_fn.  Kept separate
+        # from deliver_fn because apps reassign that attribute freely (e.g.
+        # ASub) and must not be able to silently disconnect an attached
+        # observer; ``None`` costs one truthiness check per delivery.
+        self._deliver_hooks = None
+        self._mw_scenario = ""
         self.forward_fn = forward_fn
         self.forward_policy = forward_policy
         self.byzantine = byzantine
@@ -531,17 +534,42 @@ class AtumNode(Actor):
 
     # ------------------------------------------------------------------- gossip
 
+    def set_middleware_hooks(self, deliver_hooks, scenario: str = "") -> None:
+        """Install the compiled ``on_deliver`` pipeline (cluster-distributed).
+
+        Covers both delivery channels of this node: broadcast deliveries
+        dispatch from :meth:`_deliver_and_forward` and accepted group
+        messages from the messenger (see
+        :meth:`repro.group.messages.GroupMessenger.set_middleware_hooks`).
+        """
+        self._deliver_hooks = deliver_hooks
+        self._mw_scenario = scenario
+        self.messenger.set_middleware_hooks(deliver_hooks, scenario)
+
     def _deliver_and_forward(self, message: BroadcastMessage, source_group: str) -> None:
         if message.bcast_id in self.delivered:
             return
-        self.delivered[message.bcast_id] = self.sim.now
+        now = self.sim.now
+        self.delivered[message.bcast_id] = now
         self.delivered_order.append(message.bcast_id)
-        if self.antientropy is not None:
-            self.antientropy.on_delivered(message)
         self.sim.metrics.increment("atum.deliveries")
-        self.sim.metrics.observe("atum.delivery_latency", self.sim.now - message.created_at)
-        if self.delivery_observer is not None:
-            self.delivery_observer(message)
+        self.sim.metrics.observe("atum.delivery_latency", now - message.created_at)
+        hooks = self._deliver_hooks
+        if hooks is not None:
+            ctx = MiddlewareContext(
+                "on_deliver",
+                now=now,
+                scenario=self._mw_scenario,
+                channel="broadcast",
+                receiver=self.address,
+                address=self.address,
+                payload=message,
+                node=self,
+            )
+            for hook in hooks:
+                hook(ctx)
+                if ctx.stop:
+                    break
         if self.deliver_fn is not None:
             self.deliver_fn(message)
         if self.params.smr_kind is SmrKind.SYNC:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.middleware import MiddlewareChain
 from repro.faults.injector import LinkFaultInjector
 from repro.faults.plan import FaultPlan, NodeFault
 from repro.overlay.membership import MembershipError
@@ -132,7 +133,15 @@ class FaultController:
 
         if self.plan.links:
             self.injector = LinkFaultInjector(sim, self.plan.links)
-            cluster.network.install_fault_injector(self.injector)
+            chain_fn = getattr(cluster, "middleware_chain", None)
+            if chain_fn is not None:
+                chain_fn().add(self.injector)
+            else:
+                # Bare harness: a Network stand-in without the cluster-level
+                # pipeline gets a network-only chain.
+                cluster.network.install_middleware(
+                    MiddlewareChain(self.injector, scenario="link-faults")
+                )
 
         if self.plan.slowdowns:
             self._install_slowdowns()
@@ -360,7 +369,10 @@ class FaultController:
                 cluster.join(address)
                 cluster.sim.metrics.increment("faults.rejoin_joins")
             except MembershipError:
-                pass
+                # The identity is still blocked (e.g. its eviction has not
+                # finished); the next tick retries.  Counted so a plan whose
+                # rejoins never land is visible in the metrics.
+                cluster.sim.metrics.increment("faults.rejoin_join_failed")
             return
         placement = self._coalition_placement()
         if not placement:
@@ -380,7 +392,9 @@ class FaultController:
             cluster.leave(address)
             cluster.sim.metrics.increment("faults.rejoin_leaves")
         except MembershipError:
-            pass
+            # A concurrent operation owns the address right now; the next
+            # tick retries.
+            cluster.sim.metrics.increment("faults.rejoin_leave_failed")
 
     # ----------------------------------------------------------------- helpers
 

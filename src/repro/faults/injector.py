@@ -1,6 +1,6 @@
 """Network-level fault injection: per-link loss, duplication and delay spikes.
 
-The injector is installed on a :class:`repro.net.network.Network` and
+The injector is an ``on_send`` middleware (see :mod:`repro.core.middleware`)
 consulted once per routed message.  It owns a dedicated RNG stream
 (``faults.network``) derived from the simulation seed, so fault draws are
 deterministic and never perturb the network's own randomness (send-order
@@ -15,23 +15,41 @@ from __future__ import annotations
 
 from typing import Optional, Sequence, Tuple
 
+from repro.core.middleware import Middleware, MiddlewareChain, MiddlewareContext
 from repro.faults.plan import LinkFault
 from repro.net.network import Network
 from repro.sim.simulator import Simulator
 
 
-class LinkFaultInjector:
+class LinkFaultInjector(Middleware):
     """Evaluates :class:`~repro.faults.plan.LinkFault` rules per message.
 
-    The network calls :meth:`perturb` for every message it routes while an
-    injector is installed; the verdict says whether to drop the message, how
-    much extra propagation delay to add, and how many copies to deliver.
+    The network's ``on_send`` pipeline invokes :meth:`on_send` for every
+    message it routes while the hosting chain is installed; the verdict says
+    whether to drop the message, how much extra propagation delay to add,
+    and how many copies to deliver.  :meth:`perturb` holds the rule logic in
+    injector terms and stays directly callable by unit tests.
     """
 
     def __init__(self, sim: Simulator, links: Sequence[LinkFault]) -> None:
         self.links: Tuple[LinkFault, ...] = tuple(links)
         self._rng = sim.rng.stream("faults.network")
         self._counters = sim.metrics.counters
+
+    def on_send(self, ctx: MiddlewareContext) -> None:
+        """Apply the rule verdict to one routed message's send context."""
+        verdict = self.perturb(ctx.sender, ctx.receiver, ctx.now)
+        if verdict is None:
+            return
+        dropped, extra_delay, copies, corrupted = verdict
+        if dropped:
+            ctx.drop = True
+            ctx.stop = True
+            return
+        ctx.extra_delay += extra_delay
+        ctx.copies += copies - 1
+        if corrupted:
+            ctx.corrupted = True
 
     def perturb(
         self, sender: str, receiver: str, now: float
@@ -82,13 +100,16 @@ def install_link_faults(
 ) -> Optional[LinkFaultInjector]:
     """Install a :class:`LinkFaultInjector` for ``links`` on ``network``.
 
-    Returns the injector, or ``None`` when ``links`` is empty (in which case
-    the network keeps its untouched fast paths).
+    Bare-network convenience: wraps the injector in a fresh middleware
+    chain and installs it directly on the network (clusters route through
+    ``AtumCluster.middleware_chain()`` instead).  Returns the injector, or
+    ``None`` when ``links`` is empty (in which case the network keeps its
+    untouched fast paths).
     """
     if not links:
         return None
     injector = LinkFaultInjector(sim, links)
-    network.install_fault_injector(injector)
+    network.install_middleware(MiddlewareChain(injector, scenario="link-faults"))
     return injector
 
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
+from repro.core.middleware import Middleware, MiddlewareContext
 from repro.crypto.digest import digest_object
 from repro.group.vgroup import VGroupView, majority_threshold
 
@@ -84,8 +85,13 @@ class InvariantConfig:
     tolerate_check_errors: bool = False
 
 
-class InvariantMonitor:
+class InvariantMonitor(Middleware):
     """Observes a cluster and records violations of the paper's invariants.
+
+    A pure-observation :class:`~repro.core.middleware.Middleware`:
+    ``attach_monitor`` adds it to the cluster's middleware chain, whose
+    pipelines feed it view changes, evictions, departures and both delivery
+    channels (broadcast deliveries and accepted group messages).
 
     Usage::
 
@@ -120,15 +126,22 @@ class InvariantMonitor:
 
     # ----------------------------------------------------------------- wiring
 
+    def setup(self, cluster) -> None:
+        """Middleware hook: the hosting chain was installed on ``cluster``."""
+        self.bind(cluster)
+
     def bind(self, cluster) -> None:
-        """Attach to ``cluster`` (called by ``AtumCluster.attach_monitor``)."""
+        """Snapshot ``cluster``'s membership history as the audit baseline.
+
+        No per-node wiring happens here: deliveries and accepted group
+        messages arrive through the chain's ``on_deliver`` pipeline, which
+        the cluster distributes to every node (present and future).
+        """
         self._cluster = cluster
         for view in cluster.engine.groups.values():
             self._group_epochs[view.group_id] = view.epoch
             self._ever_members.setdefault(view.group_id, set()).update(view.members)
             self._track_min_size(view)
-        for node in cluster.nodes.values():
-            self.on_node_added(node)
 
     def exempt(self, addresses) -> None:
         """Exclude ``addresses`` from the wrongful-eviction check.
@@ -139,22 +152,22 @@ class InvariantMonitor:
         """
         self._exempt.update(addresses)
 
-    def on_node_added(self, node) -> None:
-        """Install observation hooks on a newly created node.
+    # --------------------------------------------------------- middleware hooks
 
-        Uses the node's dedicated ``delivery_observer`` slot rather than
-        wrapping ``deliver_fn``: applications reassign ``deliver_fn`` after
-        node creation (ASub does), which would silently disconnect a wrapped
-        monitor.
-        """
-        messenger = getattr(node, "messenger", None)
-        if messenger is not None and messenger.accept_audit is None:
-            messenger.accept_audit = (
-                lambda envelope, senders, node=node: self._audit_accept(node, envelope, senders)
-            )
-        node.delivery_observer = (
-            lambda message, node=node: self._record_delivery(node, message)
-        )
+    def on_deliver(self, ctx: MiddlewareContext) -> None:
+        if ctx.channel == "group":
+            self._audit_accept(ctx.address, ctx.payload, ctx.senders)
+        else:
+            self._record_delivery(ctx.node, ctx.payload)
+
+    def on_view_change(self, ctx: MiddlewareContext) -> None:
+        self.on_view_changed(ctx.view)
+
+    def on_eviction(self, ctx: MiddlewareContext) -> None:
+        self.record_eviction(ctx.address)
+
+    def on_node_left(self, ctx: MiddlewareContext) -> None:
+        self.record_node_left(ctx.address)
 
     # ------------------------------------------------------------ engine hooks
 
@@ -200,13 +213,13 @@ class InvariantMonitor:
         if previous is None or view.size < previous:
             self._min_sizes[view.group_id] = view.size
 
-    def on_node_left(self, address: str) -> None:
+    def record_node_left(self, address: str) -> None:
         """A node actually left the system; pending evictions become final."""
         if address in self._pending_evictions:
             self._pending_evictions.discard(address)
             self._evicted.add(address)
 
-    def on_eviction(self, address: str) -> None:
+    def record_eviction(self, address: str) -> None:
         """Record an eviction decided by the cluster's majority-suspicion rule."""
         self._eviction_decisions += 1
         self._pending_evictions.add(address)
@@ -228,9 +241,10 @@ class InvariantMonitor:
 
     # ------------------------------------------------------------- node hooks
 
-    def _audit_accept(self, node, envelope, senders: Set[str]) -> None:
+    def _audit_accept(self, address: str, envelope, senders: Set[str]) -> None:
         """Audit one accepted group message at a correct node."""
-        if not node.is_correct:
+        node = self._cluster.nodes.get(address)
+        if node is None or not node.is_correct:
             return
         self.checks_run += 1
         source_group = envelope.source_group

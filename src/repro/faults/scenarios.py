@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.robustness import catchup_latency_bound, scenario_robustness_row
 from repro.core.cluster import AtumCluster
 from repro.core.config import AtumParameters, SmrKind
+from repro.core.middleware import MetricsTap
 from repro.faults.behaviours import apply_plan
 from repro.faults.invariants import InvariantConfig, InvariantMonitor
 from repro.faults.plan import (
@@ -513,7 +514,7 @@ def _plan_epoch_crossing(
                 cluster.engine.leave(address)
             except MembershipError:
                 # Already gone — churn or an earlier fault removed it.
-                pass
+                cluster.sim.metrics.increment("faults.plan_leave_skipped")
 
         cluster.sim.schedule(when, leave, tag="plan.epoch_crossing.leave")
     return FaultPlan(
@@ -1287,6 +1288,9 @@ def run_scenario(seed: int, scenario: "str | Scenario") -> Dict[str, Any]:
     # matrix), not abort the whole shard.
     monitor = InvariantMonitor(InvariantConfig(tolerate_check_errors=True))
     cluster.attach_monitor(monitor)
+    # Pipeline-level event counters ride the same chain.  Observation only
+    # (no RNG, no timers), so the matrix rows stay byte-identical.
+    cluster.middleware_chain().add(MetricsTap())
     addresses = [f"n{i}" for i in range(scenario.nodes)]
     cluster.build_static(addresses)
 

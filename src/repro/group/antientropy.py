@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.middleware import Middleware, MiddlewareContext
 from repro.net.requests import (
     JitteredBackoff,
     RequestManager,
@@ -490,4 +491,23 @@ class AntiEntropyRepair:
                     node.sim.metrics.increment("ae.hints_sent")
 
 
-__all__ = ["AntiEntropyConfig", "AntiEntropyRepair"]
+class AntiEntropyTap(Middleware):
+    """Feeds broadcast deliveries to each node's repair actor.
+
+    The summary tap of the repair layer: every broadcast a node delivers
+    enters that node's :class:`AntiEntropyRepair` store so later digest
+    exchanges can advertise (and re-supply) it.  Installed automatically by
+    ``AtumCluster`` whenever an :class:`AntiEntropyConfig` is set.  Pure
+    store mutation — no RNG draws, no scheduled events — so its position in
+    the ``on_deliver`` pipeline never affects the event trace.
+    """
+
+    def on_deliver(self, ctx: MiddlewareContext) -> None:
+        if ctx.channel != "broadcast":
+            return
+        repair = ctx.node.antientropy
+        if repair is not None:
+            repair.on_delivered(ctx.payload)
+
+
+__all__ = ["AntiEntropyConfig", "AntiEntropyRepair", "AntiEntropyTap"]

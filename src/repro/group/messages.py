@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from repro.core.middleware import MiddlewareContext
 from repro.crypto.digest import digest_object
 from repro.group.vgroup import VGroupView, majority_threshold
 from repro.net.network import Network
@@ -118,11 +119,13 @@ class GroupMessenger:
         # for a group id, or None for unknown groups.  ``None`` disables the
         # check (bare messengers without a directory).
         self.source_size_fn = source_size_fn
-        # Optional observation hook (see repro.faults.invariants): called with
-        # (envelope, senders) just before an accepted group message is
-        # delivered.  ``None`` costs one attribute check per *accept* (not per
-        # share) and never changes event order, so golden traces are safe.
-        self.accept_audit: Optional[Callable[[GroupMessageEnvelope, Set[str]], None]] = None
+        # Compiled on_deliver pipeline of the cluster's middleware chain
+        # (repro.core.middleware), dispatched just before an accepted group
+        # message is delivered.  ``None`` costs one attribute check per
+        # *accept* (not per share) and never changes event order, so golden
+        # traces are safe.
+        self._accept_hooks = None
+        self._mw_scenario = ""
         # Accumulation state keyed by gm-id alone (the overwhelmingly common
         # case: one digest per gm-id).  Shares carrying a *different* digest
         # for an already-tracked gm-id — only Byzantine equivocation produces
@@ -140,6 +143,11 @@ class GroupMessenger:
         self._send_fanout = binding.network.send_fanout
         self._metrics_increment = binding.sim.metrics.increment
         self._address = binding.address
+
+    def set_middleware_hooks(self, accept_hooks, scenario: str = "") -> None:
+        """Install the compiled ``on_deliver`` pipeline for accepted messages."""
+        self._accept_hooks = accept_hooks
+        self._mw_scenario = scenario
 
     # ------------------------------------------------------------------ sending
 
@@ -308,8 +316,22 @@ class GroupMessenger:
                 for key in [k for k in self._conflicting if k[0] == gm_id]:
                     del self._conflicting[key]
             self._metrics_increment("group.messages_accepted")
-            if self.accept_audit is not None:
-                self.accept_audit(envelope, senders)
+            hooks = self._accept_hooks
+            if hooks is not None:
+                ctx = MiddlewareContext(
+                    "on_deliver",
+                    now=self.binding.sim.now,
+                    scenario=self._mw_scenario,
+                    channel="group",
+                    receiver=self._address,
+                    address=self._address,
+                    payload=envelope,
+                    senders=senders,
+                )
+                for hook in hooks:
+                    hook(ctx)
+                    if ctx.stop:
+                        break
             self.on_accept(
                 envelope.kind, state.full_payload, envelope.source_group, gm_id
             )

@@ -138,6 +138,16 @@ METRICS = {
         "modules": ('repro/workloads/churn.py',),
         "matrix_column": False,
     },
+    'cluster.eviction_duplicate_suppressed': {
+        "kind": 'counter',
+        "modules": ('repro/core/cluster.py',),
+        "matrix_column": False,
+    },
+    'cluster.eviction_leave_failed': {
+        "kind": 'counter',
+        "modules": ('repro/core/cluster.py',),
+        "matrix_column": False,
+    },
     'directory.evictions_deferred': {
         "kind": 'counter',
         "modules": ('repro/faults/scenarios.py', 'repro/overlay/directory.py'),
@@ -152,6 +162,11 @@ METRICS = {
         "kind": 'counter',
         "modules": ('repro/faults/scenarios.py', 'repro/overlay/directory.py'),
         "matrix_column": True,
+    },
+    'directory.merge_eviction_failed': {
+        "kind": 'counter',
+        "modules": ('repro/core/cluster.py',),
+        "matrix_column": False,
     },
     'directory.merge_evictions_enforced': {
         "kind": 'counter',
@@ -203,15 +218,30 @@ METRICS = {
         "modules": ('repro/faults/behaviours.py', 'repro/faults/scenarios.py'),
         "matrix_column": True,
     },
+    'faults.plan_leave_skipped': {
+        "kind": 'counter',
+        "modules": ('repro/faults/scenarios.py',),
+        "matrix_column": True,
+    },
     'faults.rejoin_group_fraction': {
         "kind": 'histogram',
         "modules": ('repro/faults/behaviours.py', 'repro/faults/scenarios.py'),
         "matrix_column": True,
     },
+    'faults.rejoin_join_failed': {
+        "kind": 'counter',
+        "modules": ('repro/faults/behaviours.py',),
+        "matrix_column": False,
+    },
     'faults.rejoin_joins': {
         "kind": 'counter',
         "modules": ('repro/faults/behaviours.py', 'repro/faults/scenarios.py'),
         "matrix_column": True,
+    },
+    'faults.rejoin_leave_failed': {
+        "kind": 'counter',
+        "modules": ('repro/faults/behaviours.py',),
+        "matrix_column": False,
     },
     'faults.rejoin_leaves': {
         "kind": 'counter',
@@ -346,6 +376,41 @@ METRICS = {
     'membership.walks_started': {
         "kind": 'counter',
         "modules": ('repro/overlay/membership.py',),
+        "matrix_column": False,
+    },
+    'mw.delivers': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.evictions': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.nodes_added': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.nodes_left': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.sends': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.timer_ticks': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
+        "matrix_column": False,
+    },
+    'mw.view_changes': {
+        "kind": 'counter',
+        "modules": ('repro/core/middleware.py',),
         "matrix_column": False,
     },
     'net.bytes_sent': {

@@ -1,4 +1,4 @@
-"""The atumlint rules (ATL001..ATL008).
+"""The atumlint rules (ATL001..ATL009).
 
 Each rule is one registered class targeting a failure mode this codebase
 has actually hit (see README "Static analysis"):
@@ -12,6 +12,7 @@ ATL005    attribute writes missing from ``__slots__`` (incl. inherited)
 ATL006    metric name literals not in the generated registry
 ATL007    payload mutation after it was handed to a ``send*`` call
 ATL008    ``hash()`` / ``id()`` values in protocol state or ordering
+ATL009    observability hook wiring outside ``repro.core.middleware``
 ========  ==============================================================
 
 The rules are static heuristics, not proofs: each docstring states exactly
@@ -775,6 +776,125 @@ class HashIdentityRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------- ATL009
+
+#: The one module that owns hook dispatch plumbing (exempt from ATL009).
+MIDDLEWARE_HOME = "repro/core/middleware.py"
+
+#: Bespoke wiring entry points retired by the middleware pipeline; any call
+#: to one of these names is a resurrection of the pre-pipeline plumbing.
+RETIRED_WIRING_CALLS = ("install_fault_injector", "clear_fault_injector")
+
+#: Bespoke per-layer observer attributes retired by the middleware pipeline.
+RETIRED_OBSERVER_ATTRS = ("delivery_observer", "accept_audit")
+
+#: The middleware hook names (kept in sync with
+#: :data:`repro.core.middleware.HOOK_NAMES`; hardcoded so the analyzer never
+#: imports simulator code).
+MIDDLEWARE_HOOK_NAMES = (
+    "on_send",
+    "on_deliver",
+    "on_view_change",
+    "on_eviction",
+    "on_node_added",
+    "on_node_left",
+    "on_timer",
+)
+
+
+@register_rule
+class DirectHookWiringRule(Rule):
+    """ATL009 — observability hooks wire through ``repro.core.middleware``.
+
+    Before the middleware pipeline, every observer hand-wired its own hook
+    into a different layer, and each wiring point grew its own bugs: silent
+    replacement on double install, observers dropped when ``deliver_fn``
+    was reassigned, duplicate eviction notifications.  The rule flags the
+    pre-pipeline patterns so they cannot creep back:
+
+    * calls named ``install_fault_injector`` / ``clear_fault_injector``
+      (the retired bespoke injector API);
+    * assignments to an attribute named ``delivery_observer`` or
+      ``accept_audit`` (the retired per-layer observer slots);
+    * calls ``<receiver>.on_<hook>(...)`` for any middleware hook name,
+      unless the receiver is bare ``self`` (an object invoking its *own*
+      callback attribute is not pipeline wiring) — hook pipelines are
+      dispatched through a chain's compiled tuples, never by calling a
+      middleware's hook method directly;
+    * an assignment to an attribute named ``deliver_fn`` whose right-hand
+      side reads ``.deliver_fn`` (directly, or via a name earlier bound
+      from a ``.deliver_fn`` read in the same module) — the wrap-chaining
+      pattern that silently dropped observers on reassignment.  Apps that
+      decorate delivery for *application* semantics carry a pragma.
+
+    ``repro/core/middleware.py`` itself is exempt: that module is the
+    sanctioned home of hook plumbing.
+    """
+
+    rule_id = "ATL009"
+    title = "direct hook wiring outside repro.core.middleware"
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterable[Finding]:
+        if module.relpath.endswith(MIDDLEWARE_HOME):
+            return
+        wrapped_names: Set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = _call_name(node)
+                if name in RETIRED_WIRING_CALLS:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{name}(...) is the retired bespoke injector API — "
+                        f"compose a repro.core.middleware.MiddlewareChain and "
+                        f"install it on the cluster/network instead",
+                    )
+                elif name in MIDDLEWARE_HOOK_NAMES and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    receiver = node.func.value
+                    if not (isinstance(receiver, ast.Name) and receiver.id == "self"):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"direct call .{name}(...) invokes a middleware hook "
+                            f"outside the pipeline — dispatch through the chain's "
+                            f"compiled hooks (repro.core.middleware) instead",
+                        )
+            elif isinstance(node, ast.Assign):
+                reads_deliver_fn = any(
+                    (isinstance(sub, ast.Attribute) and sub.attr == "deliver_fn")
+                    or (isinstance(sub, ast.Name) and sub.id in wrapped_names)
+                    for sub in ast.walk(node.value)
+                )
+                if (
+                    isinstance(node.value, ast.Attribute)
+                    and node.value.attr == "deliver_fn"
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            wrapped_names.add(target.id)
+                for target in node.targets:
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if target.attr in RETIRED_OBSERVER_ATTRS:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"assignment to .{target.attr} resurrects a retired "
+                            f"observer slot — add a Middleware with the matching "
+                            f"hook to the scenario's chain instead",
+                        )
+                    elif target.attr == "deliver_fn" and reads_deliver_fn:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            "deliver_fn wrap-chaining (RHS reads .deliver_fn) — "
+                            "observers wired this way are dropped on the next "
+                            "reassignment; use an on_deliver middleware instead",
+                        )
+
+
 __all__ = [
     "DirectRandomRule",
     "WallClockRule",
@@ -784,5 +904,6 @@ __all__ = [
     "MetricsRegistryRule",
     "PostSendMutationRule",
     "HashIdentityRule",
+    "DirectHookWiringRule",
     "iter_metric_name_literals",
 ]

@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterable, Optional, Set
 
 from repro.sim.events import Event
 
+from repro.core.middleware import MiddlewareContext, MiddlewareError
 from repro.net.latency import LatencyModel, LanProfile
 from repro.net.message import CorruptedPayload, Message
 from repro.sim.actor import Actor
@@ -198,11 +199,14 @@ class Network:
         self._splits: Dict[int, Dict[str, int]] = {}
         self._split_seq = 0
         self._rng = sim.rng.stream("network")
-        # Optional fault injector (see repro.faults): when installed, every
-        # send path detours through _schedule_perturbed.  ``None`` keeps the
-        # inlined fast paths bit-identical to a build without the fault
-        # subsystem — one attribute check, no extra RNG draws.
-        self._fault_injector = None
+        # Compiled on_send pipeline of the installed middleware chain (see
+        # repro.core.middleware): when non-None, every send path detours
+        # through _schedule_intercepted.  ``None`` keeps the inlined fast
+        # paths bit-identical to a build without the middleware subsystem —
+        # one attribute check, no extra RNG draws, no context objects.
+        self._send_hooks = None
+        self._middleware = None
+        self._send_scenario = ""
         # Tracks when each receiving node's downlink frees up, used to model
         # queueing of large transfers at the receiver.
         self._downlink_free_at: Dict[str, float] = {}
@@ -232,20 +236,41 @@ class Network:
     def __contains__(self, address: str) -> bool:
         return address in self._actors
 
-    # ------------------------------------------------------------------- faults
+    # --------------------------------------------------------------- middleware
 
-    def install_fault_injector(self, injector) -> None:
-        """Route all traffic through ``injector`` (see :mod:`repro.faults`).
+    def install_middleware(self, chain) -> None:
+        """Compile ``chain``'s ``on_send`` pipeline onto the send paths.
 
-        The injector must expose ``perturb(sender, receiver, now)`` returning
-        ``None`` (no matching rule) or ``(drop, extra_delay, copies,
-        corrupted)``.
+        Installed once (normally by :meth:`AtumCluster.install_middleware
+        <repro.core.cluster.AtumCluster.install_middleware>`; bare-network
+        harnesses may call it directly).  Installing a second chain over an
+        existing one raises :class:`~repro.core.middleware.MiddlewareError`
+        — compose middleware into one chain instead.  Late additions to the
+        installed chain recompile the pipeline automatically.
         """
-        self._fault_injector = injector
+        if self._middleware is not None:
+            raise MiddlewareError(
+                "a middleware chain is already installed on this network; "
+                "add to it instead of installing a second one"
+            )
+        self._middleware = chain
+        chain.subscribe(self._compile_send_hooks)
+        self._compile_send_hooks()
 
-    def clear_fault_injector(self) -> None:
-        """Restore the unperturbed fast paths."""
-        self._fault_injector = None
+    def clear_middleware(self) -> None:
+        """Restore the unperturbed fast paths (the chain may be re-installed)."""
+        self._middleware = None
+        self._send_hooks = None
+        self._send_scenario = ""
+
+    def _compile_send_hooks(self) -> None:
+        chain = self._middleware
+        if chain is None:
+            self._send_hooks = None
+            self._send_scenario = ""
+        else:
+            self._send_hooks = chain.hooks("on_send")
+            self._send_scenario = chain.scenario
 
     # --------------------------------------------------------------- partitions
 
@@ -361,12 +386,12 @@ class Network:
             return 0
         counters = self._counters
         counters["net.messages_sent"] += float(len(batch))
-        if self._fault_injector is not None:
+        if self._send_hooks is not None:
             total_bytes = 0
             dispatched = 0
             for receiver, payload, size_bytes in batch:
                 total_bytes += size_bytes
-                dispatched += self._schedule_perturbed(sender, receiver, payload, size_bytes)
+                dispatched += self._schedule_intercepted(sender, receiver, payload, size_bytes)
             counters["net.bytes_sent"] += float(total_bytes)
             return dispatched
         sim = self.sim
@@ -472,10 +497,10 @@ class Network:
         count = len(batch)
         counters["net.messages_sent"] += float(count)
         counters["net.bytes_sent"] += float(size_bytes * count)
-        if self._fault_injector is not None:
+        if self._send_hooks is not None:
             dispatched = 0
             for receiver in batch:
-                dispatched += self._schedule_perturbed(sender, receiver, payload, size_bytes)
+                dispatched += self._schedule_intercepted(sender, receiver, payload, size_bytes)
             return dispatched
         sim = self.sim
         now = sim._now
@@ -579,8 +604,8 @@ class Network:
         counters = self._counters
         counters["net.messages_sent"] += 1.0
         counters["net.bytes_sent"] += float(size_bytes)
-        if self._fault_injector is not None:
-            return self._schedule_perturbed(sender, receiver, payload, size_bytes) > 0
+        if self._send_hooks is not None:
+            return self._schedule_intercepted(sender, receiver, payload, size_bytes) > 0
         partitioned = self._partitioned
         if partitioned and (sender in partitioned or receiver in partitioned):
             counters["net.messages_partitioned"] += 1.0
@@ -620,19 +645,22 @@ class Network:
 
     # ----------------------------------------------------------------- internals
 
-    def _schedule_perturbed(
+    def _schedule_intercepted(
         self, sender: str, receiver: str, payload: Any, size_bytes: int
     ) -> int:
-        """Route one message through the installed fault injector.
+        """Route one message through the installed ``on_send`` pipeline.
 
         Mirrors the partition/loss accounting and float arithmetic of the
-        fast paths exactly, then applies the injector verdict: drop the
+        fast paths exactly, then applies the context's verdict: drop the
         message, add propagation delay, deliver extra copies (each copy
         passes through the receiver's downlink serialization, so duplication
         storms consume real bandwidth), or corrupt the payload (delivered
         wrapped in :class:`CorruptedPayload` for the receiver to detect and
-        discard).  Returns 1 when at least one copy was scheduled, 0 when
-        the message was dropped.
+        discard).  A chain that leaves the verdict untouched yields the
+        no-perturbation defaults (``extra_delay 0.0``, one copy), keeping
+        observation-only middleware byte-identical to no middleware.
+        Returns 1 when at least one copy was scheduled, 0 when the message
+        was dropped.
         """
         counters = self._counters
         partitioned = self._partitioned
@@ -650,17 +678,28 @@ class Network:
             return 0
         sim = self.sim
         now = sim._now
-        verdict = self._fault_injector.perturb(sender, receiver, now)
-        if verdict is None:
-            extra_delay = 0.0
-            copies = 1
-        else:
-            dropped, extra_delay, copies, corrupted = verdict
-            if dropped:
-                counters["net.messages_lost"] += 1.0
-                return 0
-            if corrupted:
-                payload = CorruptedPayload(payload)
+        ctx = MiddlewareContext(
+            "on_send",
+            now=now,
+            scenario=self._send_scenario,
+            channel="net",
+            sender=sender,
+            receiver=receiver,
+            payload=payload,
+            size_bytes=size_bytes,
+        )
+        for hook in self._send_hooks:
+            hook(ctx)
+            if ctx.stop:
+                break
+        if ctx.drop:
+            counters["net.messages_lost"] += 1.0
+            return 0
+        payload = ctx.payload
+        extra_delay = ctx.extra_delay
+        copies = ctx.copies
+        if ctx.corrupted:
+            payload = CorruptedPayload(payload)
         latency_model = self.latency_model
         constant_latency = latency_model.constant_latency
         propagation = (
@@ -696,8 +735,8 @@ class Network:
 
     def _route(self, message: Message) -> Optional[Message]:
         """Drop-check, sample latency and schedule delivery for one message."""
-        if self._fault_injector is not None:
-            dispatched = self._schedule_perturbed(
+        if self._send_hooks is not None:
+            dispatched = self._schedule_intercepted(
                 message.sender, message.receiver, message.payload, message.size_bytes
             )
             return message if dispatched else None

@@ -1,0 +1,33 @@
+"""ATL009 fixture: pre-pipeline hook wiring patterns that must not return."""
+
+
+def wire_injector(cluster, injector):
+    cluster.network.install_fault_injector(injector)
+
+
+def unwire_injector(cluster):
+    cluster.network.clear_fault_injector()
+
+
+def wire_observer(node, monitor):
+    node.delivery_observer = monitor.observe
+
+
+def wire_audit(messenger, monitor):
+    messenger.accept_audit = monitor.audit
+
+
+def notify_directly(cluster, view, address):
+    cluster.monitor.on_view_change(view)
+    cluster.monitor.on_eviction(address)
+
+
+def wrap_delivery(node, observer):
+    previous = node.deliver_fn
+
+    def deliver(message):
+        observer(message)
+        if previous is not None:
+            previous(message)
+
+    node.deliver_fn = deliver if previous else node.deliver_fn

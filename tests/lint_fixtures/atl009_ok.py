@@ -1,0 +1,27 @@
+"""ATL009 fixture: hook wiring through the middleware pipeline passes."""
+
+
+class Engine:
+    """An object invoking its *own* callback attribute is not pipeline wiring."""
+
+    def __init__(self):
+        self.on_node_left = None
+
+    def remove(self, node):
+        if self.on_node_left is not None:
+            self.on_node_left(node)
+
+
+def compose(cluster, injector, monitor, chain_cls):
+    chain = chain_cls(injector, monitor, scenario="fixture")
+    cluster.install_middleware(chain)
+
+
+def plain_delivery(node, handler):
+    # A fresh deliver_fn that does not read the previous one is app wiring,
+    # not observer wrap-chaining.
+    node.deliver_fn = handler
+
+
+def waived_decoration(node, make_tiered):
+    node.deliver_fn = make_tiered(node.deliver_fn)  # atumlint: allow[ATL009] fixture: application-tier delivery decoration

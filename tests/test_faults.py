@@ -774,19 +774,19 @@ class TestInvariantMonitorDetections:
 
     def test_wrongful_eviction_detected(self):
         monitor, cluster = self._monitored_cluster()
-        monitor.on_eviction("n3")
+        monitor.record_eviction("n3")
         assert self._kinds(monitor) == {"correct_evicted"}
 
     def test_exempt_addresses_not_flagged(self):
         monitor, cluster = self._monitored_cluster()
         monitor.exempt(["n3"])
-        monitor.on_eviction("n3")
+        monitor.record_eviction("n3")
         assert monitor.violations == []
 
     def test_evicted_identity_readmission_detected(self):
         monitor, cluster = self._monitored_cluster()
         monitor.exempt(["n3"])
-        monitor.on_eviction("n3")
+        monitor.record_eviction("n3")
         group_id = sorted(cluster.engine.groups)[0]
         view = cluster.engine.groups[group_id]
         readmitted = view.with_members(list(view.members) + ["n3"])
@@ -795,7 +795,7 @@ class TestInvariantMonitorDetections:
         monitor.on_view_changed(readmitted)
         assert monitor.violations == []
         # Once the eviction completed, the identity is banned.
-        monitor.on_node_left("n3")
+        monitor.record_node_left("n3")
         monitor.on_view_changed(readmitted.with_members(readmitted.members))
         assert "evicted_readmitted" in self._kinds(monitor)
 
@@ -807,11 +807,11 @@ class TestInvariantMonitorDetections:
         forged = BroadcastMessage(
             bcast_id="bc-x-1", origin="x", payload="p2", size_bytes=10, created_at=0.0
         )
-        cluster.nodes["n1"].delivery_observer(honest)
-        cluster.nodes["n2"].delivery_observer(forged)
+        cluster.nodes["n1"]._deliver_and_forward(honest, source_group="")
+        cluster.nodes["n2"]._deliver_and_forward(forged, source_group="")
         assert "broadcast_mismatch" in self._kinds(monitor)
 
-    def test_delivery_observer_survives_deliver_fn_reassignment(self):
+    def test_monitor_observation_survives_deliver_fn_reassignment(self):
         # ASub-style apps assign node.deliver_fn after creation; the monitor
         # hook must keep observing regardless.
         monitor, cluster = self._monitored_cluster()
@@ -844,7 +844,7 @@ class TestInvariantMonitorDetections:
 
     def test_assert_clean_raises_with_report(self):
         monitor, cluster = self._monitored_cluster()
-        monitor.on_eviction("n3")
+        monitor.record_eviction("n3")
         with pytest.raises(AssertionError, match="correct_evicted"):
             monitor.assert_clean()
 

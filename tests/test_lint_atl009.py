@@ -1,0 +1,22 @@
+"""ATL009: direct hook wiring outside repro.core.middleware."""
+
+from lint_utils import lint_fixture, rules_of
+
+
+def test_flags_every_pre_pipeline_wiring_pattern():
+    findings = lint_fixture("atl009_bad.py", rules=["ATL009"])
+    assert rules_of(findings) == ["ATL009"] * 7
+    messages = "\n".join(f.message for f in findings)
+    assert "install_fault_injector" in messages
+    assert "clear_fault_injector" in messages
+    assert ".delivery_observer" in messages
+    assert ".accept_audit" in messages
+    assert ".on_view_change(...)" in messages
+    assert ".on_eviction(...)" in messages
+    assert "wrap-chaining" in messages
+    # Every message points at the sanctioned home.
+    assert all("middleware" in f.message.lower() for f in findings)
+
+
+def test_pipeline_wiring_and_own_callbacks_pass():
+    assert lint_fixture("atl009_ok.py") == []
