@@ -47,6 +47,21 @@ class AtumParameters:
             responder-quarantine threshold adapts to the observed fault
             rate (:class:`repro.net.requests.RequestPolicy`); off by
             default so legacy deployments stay byte-identical.
+        gossip_fanout: Optional cap on how many H-graph cycles each member
+            forwards a broadcast on under the flood policy.  ``None`` (the
+            default) floods all ``hc`` cycles and keeps legacy runs
+            byte-identical; the :class:`repro.core.policies.AdaptiveGossip`
+            policy lowers it through the ParameterBus under load.
+
+    Runtime adaptation: one ``AtumParameters`` instance is shared by
+    reference between a cluster and all of its nodes, so fields mutated
+    through :class:`repro.core.policies.ParameterBus` (``gmin``, ``gmax``,
+    ``heartbeat_period``, ``gossip_fanout``) are seen cluster-wide and by
+    every future joiner.  Fields that layers snapshot at construction time
+    (``round_duration``/``request_timeout``/``checkpoint_interval`` via
+    :meth:`smr_config`, ``hc``, ``rwl``, ``k``) are adaptation-immutable:
+    the bus rejects them, and mutating them directly mid-run silently
+    desynchronises the snapshots.
     """
 
     hc: int = 5
@@ -61,6 +76,7 @@ class AtumParameters:
     expected_system_size: int = 800
     checkpoint_interval: int = 0
     adaptive_quarantine: bool = False
+    gossip_fanout: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.gmin > self.gmax:
@@ -69,6 +85,8 @@ class AtumParameters:
             raise ValueError("hc must be at least 1")
         if self.rwl < 1:
             raise ValueError("rwl must be at least 1")
+        if self.gossip_fanout is not None and self.gossip_fanout < 1:
+            raise ValueError("gossip_fanout must be at least 1 when set")
 
     # --------------------------------------------------------------- factories
 
@@ -157,11 +175,22 @@ class AtumParameters:
 
         Single source of truth: the cluster's suspicion-report aging window
         must match the monitors' suspicion deadline (``period * misses``),
-        so both sides derive it from this config.
+        so both sides derive it from this config.  Each call returns a fresh
+        snapshot; runtime period changes therefore flow through the
+        ParameterBus, which updates ``heartbeat_period`` here (for future
+        joiners), every running monitor (via ``set_period``) and the
+        cluster's aging window together.
         """
         return HeartbeatConfig(period=self.heartbeat_period)
 
     def smr_config(self) -> SmrConfig:
+        """Per-replica SMR snapshot, taken once when a replica is built.
+
+        Adaptation-immutable: replicas of one vgroup must agree on round
+        and timeout durations for the round/view arithmetic to line up, and
+        there is no reconfiguration protocol for changing them on a live
+        group — the ParameterBus rejects all four fields.
+        """
         return SmrConfig(
             round_duration=self.round_duration,
             request_timeout=self.request_timeout,

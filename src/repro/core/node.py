@@ -645,7 +645,20 @@ class AtumNode(Actor):
 
         policy = self.forward_policy
         if policy == "flood":
-            selected_cycles = range(len(cycle_neighbors))
+            fanout = self.params.gossip_fanout
+            if fanout is not None and fanout < len(cycle_neighbors):
+                # Adaptive throttle (AdaptiveGossip via the ParameterBus):
+                # forward on a deterministic ``fanout``-cycle subset derived
+                # from the broadcast id, exactly like the single/double
+                # policies, so every correct co-member still picks the same
+                # cycles.  ``None`` floods all cycles — byte-identical to
+                # builds without the knob.
+                start = _stable_hash(message.bcast_id) % len(cycle_neighbors)
+                selected_cycles = [
+                    (start + offset) % len(cycle_neighbors) for offset in range(fanout)
+                ]
+            else:
+                selected_cycles = range(len(cycle_neighbors))
         elif policy in ("single", "double"):
             count = 1 if policy == "single" else 2
             start = _stable_hash(message.bcast_id) % len(cycle_neighbors)

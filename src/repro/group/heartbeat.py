@@ -30,9 +30,14 @@ class HeartbeatConfig:
     """Timing of the heartbeat/eviction mechanism.
 
     Attributes:
-        period: Interval between heartbeats (60 s in the paper).
+        period: Interval between heartbeats (60 s in the paper).  Runtime
+            changes must go through :meth:`HeartbeatMonitor.set_period` (or a
+            direct mutation of this field, which the monitor detects) and take
+            effect at the *next* tick — see the monitor's adoption rules.
         misses_before_eviction: Consecutive missed heartbeats after which a
             peer is considered unresponsive and an eviction is proposed.
+            Adaptation-immutable: policies adjust ``period`` only, so the
+            suspicion deadline scales with the send cadence.
     """
 
     period: float = 60.0
@@ -64,6 +69,14 @@ class HeartbeatMonitor:
         self.send_fn = send_fn
         self.suspect_fn = suspect_fn
         self.config = config or HeartbeatConfig()
+        # Effective period used by both the send and suspicion paths.  It is
+        # only ever replaced at a tick boundary (see _adopt_period): reading
+        # ``config.period`` live in ``_check_peers`` while rescheduling with a
+        # different value aliased the two paths, and a shrinking period would
+        # instantly mass-suspect every peer whose (previously healthy) age
+        # exceeded the new, smaller deadline.
+        self._period = self.config.period
+        self._pending_period: float | None = None
         self.sequence = 0
         self.last_seen: Dict[str, float] = {}
         self.suspected: set = set()
@@ -96,11 +109,53 @@ class HeartbeatMonitor:
     def stop(self) -> None:
         self.running = False
 
+    def set_period(self, period: float) -> None:
+        """Request a new heartbeat period, adopted at the next tick.
+
+        The change applies atomically to both the send cadence and the
+        suspicion deadline at the start of the next ``_tick`` — never
+        mid-tick, so one tick can never send on the old period while judging
+        peers against the new deadline (or vice versa).  When the deadline
+        shrinks, peers that are not already suspected are granted a fresh
+        deadline (the same rule :meth:`start` applies after a recovery), so
+        tightening the period can never instantly mass-suspect a healthy
+        group whose heartbeats were timed against the old, longer period.
+        """
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive, got {period!r}")
+        self._pending_period = period
+
     # ----------------------------------------------------------------- protocol
+
+    def _adopt_period(self) -> None:
+        """Adopt a pending period change at a tick boundary (see set_period).
+
+        Direct mutations of ``config.period`` (the legacy knob) are detected
+        and given the same next-tick semantics instead of aliasing into the
+        current tick's suspicion check.
+        """
+        pending = self._pending_period
+        if pending is None:
+            if self.config.period == self._period:
+                return
+            pending = self.config.period
+        self._pending_period = None
+        misses = self.config.misses_before_eviction
+        old_deadline = self._period * misses
+        new_deadline = pending * misses
+        self._period = pending
+        self.config.period = pending
+        if new_deadline < old_deadline:
+            now = self.sim.now
+            suspected = self.suspected
+            for peer, seen_at in self.last_seen.items():
+                if peer not in suspected and now - seen_at > new_deadline:
+                    self.last_seen[peer] = now
 
     def _tick(self) -> None:
         if not self.running:
             return
+        self._adopt_period()
         self.sequence += 1
         group_id = self.group_id_fn()
         heartbeat = Heartbeat(sender=self.address, group_id=group_id, sequence=self.sequence)
@@ -121,7 +176,7 @@ class HeartbeatMonitor:
             if peer not in last_seen:
                 last_seen[peer] = now
         self._check_peers()
-        self.sim.schedule(self.config.period, self._tick, tag=f"{self.address}:hb")
+        self.sim.schedule(self._period, self._tick, tag=f"{self.address}:hb")
 
     def observe(self, heartbeat: Heartbeat) -> None:
         """Record a heartbeat received from a peer."""
@@ -134,7 +189,7 @@ class HeartbeatMonitor:
         self.suspected.discard(peer)
 
     def _check_peers(self) -> None:
-        deadline = self.config.period * self.config.misses_before_eviction
+        deadline = self._period * self.config.misses_before_eviction
         now = self.sim.now
         current_peers = self._peer_set
         suspected = self.suspected

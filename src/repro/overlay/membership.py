@@ -232,6 +232,20 @@ class MembershipEngine:
         # (unless it is the only chunk).
         if len(chunks) > 1 and len(chunks[-1]) < self.config.gmin:
             chunks[-2].extend(chunks.pop())
+            # The fold can push the merged chunk past gmax (size ≤ gmax plus a
+            # trailing remainder up to gmin-1), and build_static never re-runs
+            # _maybe_split — so without rebalancing the system would *start*
+            # with an oversized vgroup.  Split the merged chunk back into two
+            # halves whenever both halves reach gmin; each half is then at
+            # most ceil((gmax + gmin - 1) / 2) ≤ gmax.  Only a configuration
+            # with gmax < 2*gmin can leave the merged chunk unsplittable, and
+            # then no partition of that remainder satisfies [gmin, gmax] at
+            # all, so the single oversized group is the minimal violation.
+            merged = chunks[-1]
+            if len(merged) > self.config.gmax and len(merged) >= 2 * self.config.gmin:
+                half = len(merged) // 2
+                chunks[-1] = merged[:half]
+                chunks.append(merged[half:])
         for chunk in chunks:
             group_id = self._new_group_id()
             view = VGroupView.create(group_id, chunk)
@@ -537,6 +551,43 @@ class MembershipEngine:
             self._at(done, lambda: self._shuffle(target, then=after_shuffle))
         else:
             self._at(done, after_shuffle)
+
+    def enforce_bounds(self) -> int:
+        """Re-establish ``[gmin, gmax]`` after a runtime bounds change.
+
+        The engine reads ``self.config`` live, but splits and merges are only
+        *triggered* by joins, leaves and shuffles — so when a policy narrows
+        ``gmax`` (or raises ``gmin``) through the ParameterBus, existing
+        vgroups can sit outside the new bounds indefinitely.  This walks the
+        groups in deterministic (sorted id) order, splitting every oversized
+        vgroup until none exceeds ``gmax`` and merging undersized ones, and
+        returns the number of reconfigurations started.  Merges may cascade
+        through the usual asynchronous ``_merge`` → shuffle → ``_maybe_split``
+        path; the transient overshoot stays within the invariant monitor's
+        live slack.
+        """
+        started = 0
+        for _round in range(32):  # halving converges fast; guard stays cold
+            oversized = [
+                group_id
+                for group_id in sorted(self.groups)
+                if self.groups[group_id].size > self.config.gmax
+            ]
+            if not oversized:
+                break
+            for group_id in oversized:
+                if group_id in self.groups:
+                    self._maybe_split(group_id)
+                    started += 1
+        if len(self.groups) > 1:
+            for group_id in sorted(self.groups):
+                view = self.groups.get(group_id)
+                if view is None or len(self.groups) <= 1:
+                    continue
+                if view.size < self.config.gmin:
+                    self._merge(group_id)
+                    started += 1
+        return started
 
     # ------------------------------------------------------------------ helpers
 

@@ -877,6 +877,7 @@ class TestScenarioMatrix:
             "broadcast",
             "churn",
             "churn_broadcast",
+            "flash_crowd",
             "growth",
         }
 

@@ -220,6 +220,81 @@ class TestHeartbeats:
         assert "n1" not in host.monitor.last_seen
 
 
+class TestHeartbeatPeriodAdoption:
+    """Regression tests for the stale-period aliasing bug: a runtime period
+    change must reach the send cadence and the suspicion deadline together,
+    at the next tick — and a shrinking deadline must not instantly
+    mass-suspect peers whose heartbeats were timed against the old period."""
+
+    def _wired_hosts(self, sim, peers):
+        network = Network(sim, latency_model=FixedLatency(0.001))
+        hosts = {p: _HeartbeatHost(sim, p, network, peers) for p in peers}
+        for host in hosts.values():
+            network.register(host)
+            host.monitor.start()
+        return hosts
+
+    def test_set_period_adopts_at_the_next_tick_not_mid_cycle(self):
+        sim = Simulator()
+        hosts = self._wired_hosts(sim, ["n0", "n1"])
+        monitor = hosts["n0"].monitor
+        sim.run(until=2.5)  # mid-cycle: ticks at 0, 1, 2
+        monitor.set_period(0.5)
+        assert monitor._period == 1.0  # unchanged until the tick boundary
+        assert monitor.config.period == 1.0
+        sim.run(until=3.1)  # the tick at t=3 adopts
+        assert monitor._period == 0.5
+        assert monitor.config.period == 0.5  # legacy knob kept in sync
+        # The send cadence follows immediately: next ticks at 3.5, 4.0, ...
+        sequence_at_adoption = monitor.sequence
+        sim.run(until=4.1)
+        assert monitor.sequence == sequence_at_adoption + 2
+
+    def test_set_period_rejects_nonpositive(self):
+        sim = Simulator()
+        hosts = self._wired_hosts(sim, ["n0", "n1"])
+        with pytest.raises(ValueError, match="must be positive"):
+            hosts["n0"].monitor.set_period(0.0)
+
+    def test_direct_config_mutation_gets_next_tick_semantics(self):
+        sim = Simulator()
+        hosts = self._wired_hosts(sim, ["n0", "n1"])
+        monitor = hosts["n0"].monitor
+        sim.run(until=2.5)
+        monitor.config.period = 0.5  # the legacy knob, mutated raw
+        assert monitor._period == 1.0
+        sim.run(until=3.1)
+        assert monitor._period == 0.5
+
+    def test_shrinking_period_does_not_mass_suspect_healthy_peers(self):
+        sim = Simulator()
+        peers = ["n0", "n1", "n2"]
+        hosts = self._wired_hosts(sim, peers)
+        sim.run(until=9.5)  # steady state on the 1.0 s period
+        # Shrink every monitor's deadline from 3.0 s to 0.75 s — smaller
+        # than the age peers can have accumulated under the old cadence.
+        # Pre-fix, reading config.period live would suspect them instantly.
+        for host in hosts.values():
+            host.monitor.set_period(0.25)
+        sim.run(until=20.0)
+        assert all(host.suspected == [] for host in hosts.values())
+        assert all(host.monitor._period == 0.25 for host in hosts.values())
+
+    def test_shrunk_deadline_still_suspects_a_peer_that_dies_later(self):
+        sim = Simulator()
+        peers = ["n0", "n1", "n2"]
+        hosts = self._wired_hosts(sim, peers)
+        sim.run(until=9.5)
+        for host in hosts.values():
+            host.monitor.set_period(0.25)
+        sim.run(until=15.0)
+        hosts["n2"].monitor.stop()  # n2 goes silent after the shrink settles
+        sim.run(until=20.0)
+        assert "n2" in hosts["n0"].suspected
+        assert "n2" in hosts["n1"].suspected
+        assert "n1" not in hosts["n0"].suspected
+
+
 class TestGroupCostModel:
     def test_sync_agreement_latency_scales_with_group_size(self):
         model = GroupCostModel(synchronous=True, round_duration=1.0)

@@ -61,6 +61,37 @@ class TestBootstrapAndStatic:
         with pytest.raises(MembershipError):
             engine.build_static([])
 
+    def test_build_static_trailing_fold_respects_gmax(self):
+        """Regression: folding an undersized trailing chunk into its
+        neighbour used to exceed gmax (50 nodes at gmin=6/gmax=12 chunk
+        into 9s with a trailing 5, and 9+5=14 > 12)."""
+        sim, engine = make_engine(gmin=6, gmax=12)
+        engine.build_static([f"n{i}" for i in range(50)])
+        sizes = [view.size for view in engine.groups.values()]
+        assert max(sizes) <= 12
+        assert min(sizes) >= 6
+        engine.validate()
+
+    def test_build_static_bounds_hold_at_adversarial_sizes(self):
+        for gmin, gmax in [(4, 8), (6, 12), (5, 10), (2, 4)]:
+            for count in range(gmin, 61):
+                sim, engine = make_engine(gmin=gmin, gmax=gmax)
+                engine.build_static([f"n{i}" for i in range(count)])
+                sizes = [view.size for view in engine.groups.values()]
+                assert max(sizes) <= gmax, (gmin, gmax, count, sizes)
+                assert min(sizes) >= gmin, (gmin, gmax, count, sizes)
+                engine.validate()
+
+    def test_build_static_unsplittable_fold_is_documented_minimal(self):
+        """When gmax < 2*gmin the merged trailing chunk cannot be split
+        into two in-bounds halves; the violation is kept minimal (at most
+        gmax + gmin - 1) rather than hidden."""
+        sim, engine = make_engine(gmin=7, gmax=8)
+        engine.build_static([f"n{i}" for i in range(13)])
+        sizes = [view.size for view in engine.groups.values()]
+        assert max(sizes) <= 8 + 7 - 1
+        assert engine.system_size == 13
+
 
 class TestJoin:
     def test_first_join_bootstraps(self):
@@ -161,6 +192,39 @@ class TestLeave:
         engine.leave("n3", eviction=True)
         sim.run_until_idle()
         assert sim.metrics.counter("membership.evictions_started") == 1
+
+
+class TestEnforceBounds:
+    """Runtime bound changes (the ParameterBus appliers call this) must
+    actively re-balance: splits and merges are otherwise only triggered
+    by joins, leaves and shuffles."""
+
+    def test_noop_when_groups_already_in_bounds(self):
+        sim, engine = make_engine()
+        engine.build_static([f"n{i}" for i in range(32)])
+        assert engine.enforce_bounds() == 0
+
+    def test_narrowed_gmax_splits_oversized_groups(self):
+        sim, engine = make_engine(gmax=8, gmin=4)
+        engine.build_static([f"n{i}" for i in range(32)])
+        engine.config.gmin = 2
+        engine.config.gmax = 4
+        assert engine.enforce_bounds() > 0
+        sim.run_until_idle()
+        sizes = [view.size for view in engine.groups.values()]
+        assert max(sizes) <= 4
+        engine.validate()
+
+    def test_raised_gmin_merges_undersized_groups(self):
+        sim, engine = make_engine(gmax=8, gmin=2)
+        engine.build_static([f"n{i}" for i in range(12)], target_group_size=3)
+        engine.config.gmin = 4
+        engine.enforce_bounds()
+        sim.run_until_idle()
+        sizes = [view.size for view in engine.groups.values()]
+        if engine.group_count > 1:
+            assert min(sizes) >= 4
+        engine.validate()
 
 
 class TestShufflingAndExchanges:
